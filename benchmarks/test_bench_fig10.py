@@ -1,0 +1,67 @@
+"""Figure 10 bench: comparison with the Hummingbird GEMM strategy.
+
+Entries for Hummingbird, XGBoost-v0.9-style, XGBoost-v1.5-style and
+Treebeard; asserts the paper's ordering (v1.5 recovered HB's advantage,
+Treebeard leads).
+"""
+
+import time
+
+from conftest import SLOW_ROWS, compile_cached, run_benchmark
+from repro.baselines import (
+    HummingbirdGEMMPredictor,
+    XGBoostV09Predictor,
+    XGBoostV15Predictor,
+)
+
+
+def test_fig10_hummingbird(benchmark, higgs_model):
+    forest, rows = higgs_model
+    hb = HummingbirdGEMMPredictor(forest)
+    run_benchmark(benchmark, lambda: hb.raw_predict(rows))
+    benchmark.extra_info["us_per_row"] = benchmark.stats["min"] / rows.shape[0] * 1e6
+
+
+def test_fig10_xgboost_v09(benchmark, higgs_model):
+    forest, rows = higgs_model
+    v09 = XGBoostV09Predictor(forest)
+    sample = rows[:SLOW_ROWS]
+    run_benchmark(benchmark, lambda: v09.raw_predict(sample), rounds=3)
+    benchmark.extra_info["us_per_row"] = benchmark.stats["min"] / SLOW_ROWS * 1e6
+
+
+def test_fig10_treebeard_vs_all(benchmark, higgs_model, optimized_schedule):
+    forest, rows = higgs_model
+    hb = HummingbirdGEMMPredictor(forest)
+    v09 = XGBoostV09Predictor(forest)
+    v15 = XGBoostV15Predictor(forest)
+    tb = compile_cached(forest, optimized_schedule)
+    tb.raw_predict(rows)
+
+    def us(fn, data):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            fn(data)
+            best = min(best, (time.perf_counter() - start) / data.shape[0])
+        return best * 1e6
+
+    def compare():
+        return (
+            us(hb.raw_predict, rows),
+            us(v09.raw_predict, rows[:SLOW_ROWS]),
+            us(v15.raw_predict, rows),
+            us(tb.raw_predict, rows),
+        )
+
+    hb_us, v09_us, v15_us, tb_us = run_benchmark(benchmark, compare, rounds=1)
+    print(
+        f"\nFigure 10 (higgs, normalized to HB): hb=1.00, "
+        f"xgb-v0.9={v09_us / hb_us:.2f}, xgb-v1.5={v15_us / hb_us:.2f}, "
+        f"treebeard={tb_us / hb_us:.2f}"
+    )
+    # Paper's ordering: the one-row v0.9 is the slowest; Treebeard is the
+    # fastest of all four systems.
+    assert v09_us > v15_us
+    assert tb_us < hb_us
+    assert tb_us < v15_us

@@ -1,0 +1,54 @@
+"""Figure 11 bench: impact of individual optimizations.
+
+Entries: tiling-only (basic), tiling-only (hybrid/probability-based), and
+tiling + walk interleaving/unrolling — all relative to the scalar baseline
+(measured in test_bench_fig7).
+"""
+
+import time
+
+from conftest import compile_cached, run_benchmark
+from repro.config import Schedule
+
+TILING_ONLY = dict(tile_size=8, pad_and_unroll=False, peel_walk=False,
+                   interleave=1, layout="sparse")
+
+
+def test_fig11a_basic_tiling(benchmark, abalone_model):
+    forest, rows = abalone_model
+    predictor = compile_cached(forest, Schedule(tiling="basic", **TILING_ONLY))
+    run_benchmark(benchmark, lambda: predictor.raw_predict(rows))
+
+
+def test_fig11a_probability_tiling(benchmark, abalone_model):
+    forest, rows = abalone_model
+    predictor = compile_cached(forest, Schedule(tiling="hybrid", **TILING_ONLY))
+    run_benchmark(benchmark, lambda: predictor.raw_predict(rows))
+
+
+def test_fig11b_walk_interleave_and_unroll(benchmark, abalone_model, optimized_schedule):
+    forest, rows = abalone_model
+    predictor = compile_cached(forest, optimized_schedule)
+    run_benchmark(benchmark, lambda: predictor.raw_predict(rows))
+
+
+def test_fig11_walk_opts_improve_over_tiling_alone(benchmark, abalone_model, optimized_schedule):
+    forest, rows = abalone_model
+    tiling_only = compile_cached(forest, Schedule(tiling="basic", **TILING_ONLY))
+    full = compile_cached(forest, optimized_schedule)
+    for p in (tiling_only, full):
+        p.raw_predict(rows)
+
+    def us(p):
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            p.raw_predict(rows)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_tile, t_full = run_benchmark(
+        benchmark, lambda: (us(tiling_only), us(full)), rounds=1
+    )
+    print(f"\nFigure 11b: interleave+unroll gain over tiling alone = {t_tile / t_full:.2f}x")
+    assert t_full < t_tile * 1.1  # walk opts must not lose; usually they win

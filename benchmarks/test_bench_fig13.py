@@ -1,0 +1,26 @@
+"""Figure 13 bench: core-count scaling under the multicore model."""
+
+from conftest import compile_cached, run_benchmark
+from repro.datasets.registry import fresh_rows
+
+
+def test_fig13_core_scaling(benchmark, airline_model, optimized_schedule):
+    forest, _ = airline_model
+    rows = fresh_rows("airline", 4096, seed=13)
+    predictor = compile_cached(forest, optimized_schedule)
+    predictor.raw_predict(rows)
+
+    def scaling():
+        times = {}
+        for cores in (1, 2, 4, 8, 16):
+            _, seconds = predictor.predict_simulated_parallel(rows, cores=cores)
+            times[cores] = seconds
+        return times
+
+    times = run_benchmark(benchmark, scaling, rounds=3)
+    speedup16 = times[1] / times[16]
+    print(f"\nFigure 13: simulated scaling 1->16 cores = {speedup16:.1f}x")
+    # Naive row partitioning is embarrassingly parallel: scaling must be
+    # substantial (the paper reports near-linear).
+    assert speedup16 > 4.0
+    assert times[4] < times[1]

@@ -1,0 +1,36 @@
+"""Figure 3 bench: leaf-coverage statistical profiles.
+
+Benchmarks the profile computation and checks the paper's qualitative
+contrast: the leaf-biased benchmark needs far fewer leaves to cover 90% of
+inputs than the unbiased one.
+"""
+
+import numpy as np
+
+from conftest import run_benchmark
+from repro.forest.statistics import coverage_profile, leaf_bias_fractions
+
+
+def test_fig3_profiles(benchmark, abalone_model, year_model):
+    ab_forest, _ = abalone_model
+    yr_forest, _ = year_model
+
+    def profiles():
+        return (
+            coverage_profile(ab_forest, 0.9),
+            coverage_profile(yr_forest, 0.9),
+        )
+
+    ab_profile, yr_profile = run_benchmark(benchmark, profiles)
+    ab_need = float(np.median(leaf_bias_fractions(ab_forest, 0.9)))
+    yr_need = float(np.median(leaf_bias_fractions(yr_forest, 0.9)))
+    # Figure-3 shape: the skewed benchmark needs a much smaller fraction of
+    # leaves than the unbiased one (airline-ohe vs epsilon in the paper).
+    assert ab_need < yr_need
+    print(
+        f"\nFigure 3: median leaf fraction for 90% coverage — "
+        f"abalone {ab_need:.3f} vs year {yr_need:.3f}"
+    )
+    # Profiles are CDFs over trees: monotone, ending at 1.
+    assert (np.diff(ab_profile.tree_fractions) >= 0).all()
+    assert ab_profile.tree_fractions[-1] == 1.0

@@ -1,0 +1,49 @@
+"""Figure 7 bench: optimized Treebeard vs the scalar baseline.
+
+Two benchmark entries (baseline on a row subsample, optimized on the full
+batch) whose ratio is the Figure-7a bar; a third entry exercises the
+simulated multi-core path of Figure 7b.
+"""
+
+import numpy as np
+
+from conftest import SLOW_ROWS, compile_cached, run_benchmark
+from repro.config import Schedule
+
+
+def test_fig7a_scalar_baseline(benchmark, abalone_model, scalar_schedule):
+    forest, rows = abalone_model
+    predictor = compile_cached(forest, scalar_schedule)
+    sample = rows[:SLOW_ROWS]
+    run_benchmark(benchmark, lambda: predictor.raw_predict(sample), rounds=3)
+    benchmark.extra_info["us_per_row"] = benchmark.stats["min"] / SLOW_ROWS * 1e6
+
+
+def test_fig7a_optimized(benchmark, abalone_model, optimized_schedule):
+    forest, rows = abalone_model
+    predictor = compile_cached(forest, optimized_schedule)
+    run_benchmark(benchmark, lambda: predictor.raw_predict(rows))
+    us_opt = benchmark.stats["min"] / rows.shape[0] * 1e6
+    benchmark.extra_info["us_per_row"] = us_opt
+
+    # Figure-7 claim: the optimized configuration beats the scalar baseline.
+    baseline = compile_cached(forest, Schedule.scalar_baseline())
+    sample = rows[:SLOW_ROWS]
+    import time
+
+    start = time.perf_counter()
+    baseline.raw_predict(sample)
+    us_base = (time.perf_counter() - start) / SLOW_ROWS * 1e6
+    speedup = us_base / us_opt
+    print(f"\nFigure 7a: abalone speedup over scalar baseline = {speedup:.0f}x")
+    assert speedup > 2.0
+
+
+def test_fig7b_simulated_multicore(benchmark, abalone_model, optimized_schedule):
+    forest, rows = abalone_model
+    predictor = compile_cached(forest, optimized_schedule)
+
+    def multicore():
+        return predictor.predict_simulated_parallel(rows, cores=16)[1]
+
+    run_benchmark(benchmark, multicore, rounds=3)

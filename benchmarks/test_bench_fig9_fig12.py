@@ -1,0 +1,56 @@
+"""Figures 9 and 12 bench: robustness of the speedups across batch sizes.
+
+Benchmarks the optimized kernel at small and large batches; the paper's
+claim is that the advantage holds at every batch size.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import compile_cached, run_benchmark
+from repro.baselines import XGBoostV15Predictor
+from repro.datasets.registry import fresh_rows
+
+
+def test_fig9_small_batch(benchmark, airline_model, optimized_schedule):
+    forest, _ = airline_model
+    rows = fresh_rows("airline", 64, seed=9)
+    predictor = compile_cached(forest, optimized_schedule)
+    run_benchmark(benchmark, lambda: predictor.raw_predict(rows))
+
+
+def test_fig9_large_batch(benchmark, airline_model, optimized_schedule):
+    forest, _ = airline_model
+    rows = fresh_rows("airline", 4096, seed=9)
+    predictor = compile_cached(forest, optimized_schedule)
+    run_benchmark(benchmark, lambda: predictor.raw_predict(rows))
+
+
+def test_fig9_fig12_speedup_holds_across_batches(benchmark, airline_model, optimized_schedule):
+    forest, _ = airline_model
+    predictor = compile_cached(forest, optimized_schedule)
+    xgb = XGBoostV15Predictor(forest)
+    def compare():
+        speedups = {}
+        for batch in (64, 512, 4096):
+            rows = fresh_rows("airline", batch, seed=9)
+            predictor.raw_predict(rows)
+
+            def us(fn):
+                best = float("inf")
+                for _ in range(3):
+                    start = time.perf_counter()
+                    fn(rows)
+                    best = min(best, time.perf_counter() - start)
+                return best / batch * 1e6
+
+            speedups[batch] = us(xgb.raw_predict) / us(predictor.raw_predict)
+        return speedups
+
+    speedups = run_benchmark(benchmark, compare, rounds=1)
+    print(f"\nFigure 9/12: speedup vs xgboost-style by batch: "
+          + ", ".join(f"{b}: {s:.2f}x" for b, s in speedups.items()))
+    # The advantage must not collapse at any batch size.
+    assert min(speedups.values()) > 0.8
+    assert max(speedups.values()) > 1.0

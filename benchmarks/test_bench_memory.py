@@ -1,0 +1,25 @@
+"""Section V-B2 bench: in-memory representation footprints.
+
+Benchmarks layout construction and asserts the paper's memory claims: array
+bloats well past scalar; sparse recovers most of it.
+"""
+
+from conftest import run_benchmark
+from repro.lir.memory import model_memory_report
+
+
+def test_memory_footprint_ratios(benchmark, abalone_model):
+    forest, _ = abalone_model
+
+    def build_all():
+        return model_memory_report(forest, tile_size=8)
+
+    report = run_benchmark(benchmark, build_all, rounds=3)
+    print(
+        f"\nSection V-B2 (abalone): array/scalar={report.array_bloat:.1f}x "
+        f"(paper ~8x), array/sparse={report.sparse_vs_array:.1f}x (paper ~6.8x), "
+        f"sparse/scalar={report.sparse_overhead:.2f}x (paper ~1.16x)"
+    )
+    assert report.array_bloat > 2.0
+    assert report.sparse_vs_array > 1.5
+    assert report.sparse_overhead < report.array_bloat

@@ -1,0 +1,39 @@
+"""Section VI-E bench: microarchitectural variant analysis.
+
+Benchmarks the trace-driven cost model and asserts the paper's attribution
+shape for the code-generation variants.
+"""
+
+from conftest import run_benchmark
+from repro.datasets.registry import mixed_rows
+from repro.perf.machine import INTEL_ROCKET_LAKE_LIKE
+from repro.perf.simpipe import stall_breakdown, trace_variant
+
+
+def test_microarch_variant_shapes(benchmark, higgs_model):
+    forest, _ = higgs_model
+    rows = mixed_rows("higgs", 48, prototype_fraction=0.5)
+    machine = INTEL_ROCKET_LAKE_LIKE
+
+    def analyze():
+        return {
+            v: stall_breakdown(trace_variant(v, forest, rows, machine), machine)
+            for v in ("OneRow", "OneTree", "Vector", "Interleaved", "Treelite")
+        }
+
+    b = run_benchmark(benchmark, analyze, rounds=2)
+    print("\nSection VI-E (higgs, intel-like):")
+    for variant in ("OneRow", "OneTree", "Vector", "Interleaved", "Treelite"):
+        print(f"  {b[variant]}")
+    # Paper's shape claims:
+    assert b["OneRow"].backend > 0.5, "OneRow is back-end bound"
+    assert b["OneTree"].backend_memory <= b["OneRow"].backend_memory, \
+        "OneTree recovers memory stalls"
+    assert b["Vector"].cycles_per_row < b["OneTree"].cycles_per_row, \
+        "tiling+vectorization speeds up OneTree"
+    assert b["Vector"].instructions_per_row < b["OneTree"].instructions_per_row, \
+        "vectorization cuts dynamic instructions"
+    assert b["Interleaved"].backend_core < b["Vector"].backend_core, \
+        "interleaving removes dependency stalls"
+    assert b["Treelite"].frontend > b["OneRow"].frontend, \
+        "if-else expansion is front-end bound"

@@ -1,0 +1,43 @@
+"""Table I bench: benchmark dataset statistics (leaf-bias detection).
+
+Regenerates the Table-I row for a benchmark and benchmarks the statistics
+pass (leaf-probability population + leaf-bias counting) that feeds it.
+"""
+
+import numpy as np
+
+from conftest import run_benchmark
+from repro.datasets.registry import fresh_rows, get_benchmark
+from repro.forest.statistics import count_leaf_biased, populate_node_probabilities
+
+
+def test_table1_leaf_bias_statistics(benchmark, abalone_model):
+    forest, _ = abalone_model
+    spec = get_benchmark("abalone")
+    train_like = fresh_rows("abalone", 1024, seed=1)
+
+    def stats_pass():
+        populate_node_probabilities(forest, train_like)
+        return count_leaf_biased(forest, 0.075, 0.9)
+
+    biased = run_benchmark(benchmark, stats_pass)
+    # Table-I shape: abalone is partially leaf-biased (paper: 438/1000).
+    fraction = biased / forest.num_trees
+    assert 0.05 < fraction <= 1.0
+    print(
+        f"\nTable I row: abalone features={spec.num_features} "
+        f"trees={forest.num_trees} depth={forest.max_depth} "
+        f"leaf-biased={biased} ({fraction:.0%}; paper 44%)"
+    )
+
+
+def test_table1_unbiased_benchmark(benchmark, year_model):
+    forest, _ = year_model
+    train_like = fresh_rows("year", 1024, seed=1)
+
+    def stats_pass():
+        populate_node_probabilities(forest, train_like)
+        return count_leaf_biased(forest, 0.075, 0.9)
+
+    biased = run_benchmark(benchmark, stats_pass)
+    assert biased == 0  # paper: year has no leaf-biased trees

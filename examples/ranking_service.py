@@ -1,0 +1,83 @@
+"""Search ranking: a leaf-biased workload where probability tiling shines.
+
+Search and recommendation (the paper's introductory motivation) score
+candidate documents with large GBDT ensembles, and production traffic is
+heavily skewed: most queries resemble a small set of head queries. That
+skew makes trees leaf-biased — exactly the property probability-based
+tiling (Section III-C) exploits.
+
+Run with::
+
+    python examples/ranking_service.py
+"""
+
+import numpy as np
+
+from repro import Schedule, compile_model, train_gbdt, GBDTParams
+from repro.datasets import generate_dataset
+from repro.forest import populate_node_probabilities
+from repro.forest.statistics import count_leaf_biased
+from repro.perf.timer import measure
+
+
+def main() -> None:
+    # Head-heavy query/document features: 90% of traffic near 12 head
+    # prototypes (the generate_dataset prototype machinery).
+    X, y, w = generate_dataset(
+        num_rows=3000,
+        num_features=24,
+        feature_kind="mixed",
+        prototype_fraction=0.9,
+        prototype_count=12,
+        prototype_zipf=2.0,
+        weighted=True,
+        seed=3,
+    )
+    forest = train_gbdt(
+        X, y, GBDTParams(num_rounds=300, max_depth=7, reg_lambda=1e-3, seed=3),
+        sample_weight=w,
+    )
+    populate_node_probabilities(forest, X, weights=w)
+    biased = count_leaf_biased(forest, alpha=0.075, beta=0.9)
+    print(f"ranking model: {forest}")
+    print(f"leaf-biased trees: {biased}/{forest.num_trees} "
+          f"(90% of traffic covered by <=7.5% of leaves)")
+
+    # Production-like traffic: skewed the same way as training.
+    # Larger batches amortize the fixed per-step dispatch overhead of the
+    # Python backend, letting the shorter expected walks show through.
+    traffic = generate_dataset(
+        num_rows=8192, num_features=24, feature_kind="mixed",
+        prototype_fraction=0.9, prototype_count=12, prototype_zipf=2.0, seed=77,
+    )[0]
+
+    base = dict(tile_size=8, pad_and_unroll=False, peel_walk=True,
+                interleave=32, layout="sparse", row_block=2048)
+    variants = {
+        "basic tiling": Schedule(tiling="basic", **base),
+        "probability tiling": Schedule(tiling="hybrid", **base),
+    }
+    times = {}
+    for name, schedule in variants.items():
+        predictor = compile_model(forest, schedule)
+        times[name] = measure(
+            lambda p=predictor: p.raw_predict(traffic),
+            rows=traffic.shape[0], repeats=5, min_time_s=0.1,
+        ).per_row_us
+        print(f"{name:20s}: {times[name]:7.2f} us/row")
+    gain = times["basic tiling"] / times["probability tiling"]
+    print(f"probability-based tiling gain on skewed traffic: {gain:.2f}x")
+
+    # Expected walk lengths show *why*: hot leaves surface earlier.
+    from repro.hir.ir import build_hir
+
+    basic_hir = build_hir(forest, variants["basic tiling"])
+    prob_hir = build_hir(forest, variants["probability tiling"])
+    basic_walk = np.mean([t.expected_walk_length() for t in basic_hir.tiled_trees])
+    prob_walk = np.mean([t.expected_walk_length() for t in prob_hir.tiled_trees])
+    print(f"expected tile evaluations per walk: basic={basic_walk:.2f}, "
+          f"probability={prob_walk:.2f}")
+
+
+if __name__ == "__main__":
+    main()

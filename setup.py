@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The execution environment has no network and no `wheel` package, so the
+PEP 517 editable path (which needs bdist_wheel) is unavailable; this shim
+lets setuptools' classic `develop` command handle `pip install -e .`.
+"""
+
+from setuptools import setup
+
+setup()

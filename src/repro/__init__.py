@@ -1,0 +1,66 @@
+"""Treebeard reproduction: an optimizing compiler for decision tree inference.
+
+This package reimplements the MICRO 2022 Treebeard system in pure Python:
+a multi-level compiler (HIR tree tiling / MIR loop optimization / LIR memory
+layout + vectorization) that specializes batch-inference code to each model,
+plus the substrates the paper's evaluation depends on — a GBDT/random-forest
+trainer, synthetic benchmark datasets, baseline inference systems (XGBoost-,
+Treelite- and Hummingbird-style), and a microarchitectural cost model.
+
+Quickstart::
+
+    import numpy as np
+    from repro import GBDTParams, Schedule, compile_model, train_gbdt
+
+    X = np.random.default_rng(0).normal(size=(1000, 16))
+    y = X[:, 0] * 2 + np.sin(X[:, 1])
+    forest = train_gbdt(X, y, GBDTParams(num_rounds=100, max_depth=6))
+    predictor = compile_model(forest, Schedule(tile_size=8))
+    predictions = predictor.predict(X)
+"""
+
+from repro.api import compile_model, predict
+from repro.backend.predictor import Predictor
+from repro.config import Schedule
+from repro.errors import (
+    CodegenError,
+    CompilerError,
+    ExecutionError,
+    LayoutError,
+    LoweringError,
+    ModelError,
+    ModelParseError,
+    ReproError,
+    ScheduleError,
+    TilingError,
+)
+from repro.forest.ensemble import Forest
+from repro.forest.tree import DecisionTree
+from repro.training.gbdt import GBDTParams, train_gbdt
+from repro.training.random_forest import RandomForestParams, train_random_forest
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CodegenError",
+    "CompilerError",
+    "DecisionTree",
+    "ExecutionError",
+    "Forest",
+    "GBDTParams",
+    "LayoutError",
+    "LoweringError",
+    "ModelError",
+    "ModelParseError",
+    "Predictor",
+    "RandomForestParams",
+    "ReproError",
+    "Schedule",
+    "ScheduleError",
+    "TilingError",
+    "compile_model",
+    "predict",
+    "train_gbdt",
+    "train_random_forest",
+    "__version__",
+]

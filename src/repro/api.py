@@ -1,0 +1,66 @@
+"""Public compilation API.
+
+``compile_model`` runs the whole pipeline of Figure 1: HIR construction
+(tiling, padding, reordering) → MIR lowering + loop passes (interleave,
+peel/unroll, parallelize) → LIR lowering (layouts, LUT) → code generation
+and JIT. The result is a :class:`~repro.backend.predictor.Predictor` whose
+``predict``/``raw_predict`` match the reference ``Forest`` semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.predictor import Predictor
+from repro.config import Schedule
+from repro.forest.ensemble import Forest
+from repro.hir.ir import build_hir
+from repro.lir.lowering import lower_mir_to_lir
+from repro.mir.lowering import lower_hir_to_mir
+from repro.mir.passes import run_mir_pipeline
+
+
+def compile_model(
+    forest: Forest,
+    schedule: Schedule | None = None,
+    validate_tiling: bool = True,
+    validate_inputs: bool = True,
+) -> Predictor:
+    """Compile ``forest`` into an optimized batch-inference function.
+
+    Parameters
+    ----------
+    forest:
+        The trained ensemble (load one via :mod:`repro.forest` or train one
+        via :mod:`repro.training`).
+    schedule:
+        Optimization configuration; defaults to the paper's strong default
+        (tile size 8, hybrid tiling, one-tree order, pad+unroll,
+        interleave 8, sparse layout). Use ``Schedule.scalar_baseline()`` for
+        the unoptimized reference, or :func:`repro.autotune.autotune` to
+        search the Table-II grid.
+    validate_tiling:
+        Re-check every produced tiling against the Section III-B1
+        constraints (cheap; disable only in tight tuning loops).
+    validate_inputs:
+        Reject NaN rows at predict time (speculative tile evaluation is
+        undefined for unordered values).
+    """
+    schedule = schedule or Schedule()
+    if schedule.traversal == "quickscorer":
+        # Alternative traversal strategy (Section VII): QuickScorer behind
+        # the same predictor interface.
+        from repro.backend.strategies import QuickScorerStrategyPredictor
+
+        return QuickScorerStrategyPredictor(
+            forest, schedule, validate_inputs=validate_inputs
+        )
+    hir = build_hir(forest, schedule, validate=validate_tiling)
+    mir = run_mir_pipeline(lower_hir_to_mir(hir), hir)
+    lir = lower_mir_to_lir(mir, hir)
+    return Predictor(forest, lir, validate_inputs=validate_inputs)
+
+
+def predict(forest: Forest, rows: np.ndarray, schedule: Schedule | None = None) -> np.ndarray:
+    """One-shot convenience: compile ``forest`` and predict ``rows``."""
+    return compile_model(forest, schedule).predict(rows)

@@ -1,0 +1,6 @@
+"""Schedule autotuning over the Table-II optimization grid."""
+
+from repro.autotune.search import TuneResult, autotune
+from repro.autotune.space import default_space, schedule_grid
+
+__all__ = ["TuneResult", "autotune", "default_space", "schedule_grid"]

@@ -1,0 +1,81 @@
+"""Grid search over compilation schedules.
+
+The paper explores the Table-II grid per benchmark and batch size and
+reports the best combination (Section VI, "the combination of optimizations
+that performs best"). ``autotune`` does the same: compile each candidate,
+time it on a sample batch, return the winner plus the full exploration log.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api import compile_model
+from repro.autotune.space import TuningSpace, default_space, schedule_grid
+from repro.backend.predictor import Predictor
+from repro.config import Schedule
+from repro.errors import CompilerError, ReproError
+from repro.forest.ensemble import Forest
+from repro.perf.timer import measure
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a grid search."""
+
+    best_schedule: Schedule
+    best_predictor: Predictor
+    best_per_row_us: float
+    #: every (schedule, per-row-us) pair explored, in exploration order;
+    #: failed compilations carry ``math.inf``
+    log: list[tuple[Schedule, float]] = field(default_factory=list)
+
+    def top(self, k: int = 5) -> list[tuple[Schedule, float]]:
+        """The ``k`` fastest explored configurations."""
+        return sorted(self.log, key=lambda item: item[1])[:k]
+
+
+def autotune(
+    forest: Forest,
+    rows: np.ndarray,
+    space: TuningSpace | None = None,
+    base: Schedule | None = None,
+    repeats: int = 3,
+    max_configs: int | None = None,
+) -> TuneResult:
+    """Search the schedule grid for the fastest configuration on ``rows``.
+
+    Candidates that fail to compile (e.g. array layout exceeding its slot
+    budget on a deep model) are recorded with infinite cost and skipped,
+    mirroring how a production tuner tolerates invalid points.
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.float64)
+    best: tuple[float, Schedule, Predictor] | None = None
+    log: list[tuple[Schedule, float]] = []
+    for i, schedule in enumerate(schedule_grid(space or default_space(), base)):
+        if max_configs is not None and i >= max_configs:
+            break
+        try:
+            predictor = compile_model(forest, schedule, validate_tiling=False)
+            result = measure(
+                lambda: predictor.raw_predict(rows), rows=rows.shape[0],
+                repeats=repeats, min_time_s=0.03,
+            )
+            cost = result.per_row_us
+        except ReproError:
+            log.append((schedule, math.inf))
+            continue
+        log.append((schedule, cost))
+        if best is None or cost < best[0]:
+            best = (cost, schedule, predictor)
+    if best is None:
+        raise CompilerError("no schedule in the grid compiled successfully")
+    return TuneResult(
+        best_schedule=best[1],
+        best_predictor=best[2],
+        best_per_row_us=best[0],
+        log=log,
+    )

@@ -1,0 +1,26 @@
+"""Backend: code generation, JIT compilation, and execution runtimes.
+
+The backend turns an :class:`~repro.lir.ir.LIRModule` into an executable
+batch-inference function. The primary path generates Python/NumPy source —
+one vector statement per LIR walk op, mirroring the paper's vectorized tree
+walk — and compiles it with :func:`compile`; a reference interpreter
+executes the same buffers row by row for cross-checking. The parallel
+runtime implements the row-partitioned execution of Section IV-C with real
+threads, plus a deterministic multicore simulator for scaling studies on
+single-core hosts.
+"""
+
+from repro.backend.codegen import emit_module_source
+from repro.backend.interpreter import interpret_lir
+from repro.backend.jit import compile_lir
+from repro.backend.parallel import MulticoreSimulator, parallel_predict
+from repro.backend.predictor import Predictor
+
+__all__ = [
+    "MulticoreSimulator",
+    "Predictor",
+    "compile_lir",
+    "emit_module_source",
+    "interpret_lir",
+    "parallel_predict",
+]

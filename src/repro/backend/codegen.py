@@ -1,0 +1,392 @@
+"""NumPy source generation for compiled inference functions.
+
+``emit_module_source`` walks an :class:`~repro.lir.ir.LIRModule` and emits
+the body of ``predict_block(rows, out)``. The emitted statements follow the
+walk-step op sequence of Section V-A one to one, using the fastest NumPy
+realization of each op:
+
+========================  ================================================
+LIR op                    emitted statement
+========================  ================================================
+loadThresholds            ``thr = _np.take(g_th, idx, axis=0)``
+loadFeatureIndices        ``fidx = _np.take(g_fi, idx, axis=0)``
+gatherFeatures            ``feat = _np.take(rowsf, rof + fidx)``
+vectorCompare             ``cmp = feat < thr``
+packBits                  integer reinterpretation of the bool vector
+                          (the movemask analog; see ``_pack_bits_expr``)
+loadTileShape             ``sid = _np.take(g_sid, idx)``
+lookupChildIndex          ``ci = _np.take(lut, sid * LUTC + bits)``
+advanceToChild            layout-specific child arithmetic
+========================  ================================================
+
+Buffers are stored flattened with 64-bit index math (``np.take`` on int64
+indices is several times faster than multi-axis advanced indexing), and
+tile storage is padded to a power-of-two lane width so the comparison
+vector can be reinterpreted as a single integer per tile.
+
+Walk styles lower differently: ``unrolled`` emits straight-line step
+sequences with no termination checks; ``peeled`` emits check-free prologue
+steps followed by the guarded loop; ``loop`` emits the guarded loop only.
+The guarded loop uses *active-lane compaction* — finished (row, tree) walks
+leave the working set, the vectorized analog of the scalar walk's early
+exit, which is what probability-based tiling's shorter expected walks pay
+into. The tree-chunk loop realizes walk interleaving: all ``width`` jammed
+walks advance inside the same vector statements.
+
+NaN caveat: speculative evaluation relies on padding predicates
+(``x < +inf``) being true, which fails for NaN inputs — the predictor
+validates rows before calling the kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodegenError
+from repro.lir.ir import LIRGroup, LIRModule
+
+
+class _Emitter:
+    """Tiny indented-source builder."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append("    " * self.depth + text if text else "")
+
+    def block(self, header: str) -> "_IndentCtx":
+        self.emit(header)
+        return _IndentCtx(self)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _IndentCtx:
+    def __init__(self, emitter: _Emitter) -> None:
+        self.emitter = emitter
+
+    def __enter__(self):
+        self.emitter.depth += 1
+        return self.emitter
+
+    def __exit__(self, *exc):
+        self.emitter.depth -= 1
+        return False
+
+
+def _pack_bits_expr(width: int) -> str:
+    """Pack the bool comparison vector (last axis = ``width``, a power of
+    two) into integer predicate bits — the movemask analog.
+
+    The trick: a fresh bool array stores one byte per lane, so the last axis
+    can be reinterpreted as a single unsigned integer whose byte ``i`` is
+    lane ``i``'s outcome; one multiply gathers the bytes into the top byte
+    (LSB-first), one shift extracts them.
+    """
+    if width == 1:
+        return "cmp[..., 0]"
+    if width == 2:
+        return (
+            "(lambda v: (v | (v >> _np.uint16(7))) & _np.uint16(3))"
+            "(cmp.view(_np.uint16)[..., 0])"
+        )
+    if width == 4:
+        return (
+            "((cmp.view(_np.uint32)[..., 0] * _np.uint32(0x01020408)) "
+            ">> _np.uint32(24)) & _np.uint32(15)"
+        )
+    if width == 8:
+        return (
+            "((cmp.view(_np.uint64)[..., 0] * _np.uint64(0x0102040810204080)) "
+            ">> _np.uint64(56)).astype(_np.int64)"
+        )
+    # Wide tiles (>8): generic matmul fallback.
+    return "(cmp.astype(_np.uint32) @ p2).astype(_np.int64)"
+
+
+class _GroupEmitter:
+    """Emits the chunked walk for one tree group."""
+
+    def __init__(self, e: _Emitter, lir: LIRModule, group: LIRGroup, vec: bool) -> None:
+        self.e = e
+        self.lir = lir
+        self.group = group
+        self.vec = vec
+        self.g = f"g{group.group_id}"
+        self.layout = group.layout
+        self.width = self.layout.thresholds.shape[2]
+        self.lut_cols = lir.lut.shape[1]
+
+    # -- shared op fragments ------------------------------------------
+    def eval_tile(self, idx: str, feat_index: str) -> None:
+        """The evaluateTilePredicates sequence at flat tile indices ``idx``.
+
+        Model-specific specialization (the compiler knows the tiled model
+        statically): when every tile in the model shares one shape, the
+        shape load is elided and the LUT collapses to its single row; for
+        tile size 1 the whole lookup folds to ``1 - bit`` (true goes to
+        child 0, the left subtree).
+        """
+        e, g = self.e, self.g
+        single_shape = self.lir.lut.shape[0] == 1
+        e.emit(f"thr = _np.take({g}_th, {idx}, axis=0)")    # loadThresholds
+        e.emit(f"fidx = _np.take({g}_fi, {idx}, axis=0)")   # loadFeatureIndices
+        e.emit(f"feat = _np.take({self._rowsrc()}, {feat_index})")  # gatherFeatures
+        e.emit("cmp = feat < thr")                          # vectorCompare
+        if single_shape and self.width == 1:
+            # packBits + lookupChildIndex folded into one arithmetic op.
+            e.emit("ci = 1 - cmp[..., 0]")
+            return
+        e.emit(f"bits = {_pack_bits_expr(self.width)}")     # packBits
+        if single_shape:
+            e.emit("ci = _np.take(lut, bits)")              # lookupChildIndex
+            return
+        e.emit(f"sid = _np.take({g}_sid, {idx})")           # loadTileShape
+        e.emit(f"ci = _np.take(lut, sid * {self.lut_cols} + bits)")  # lookupChildIndex
+
+    def _rowsrc(self) -> str:
+        return "rowsf" if self.vec else "row"
+
+    def _feat_full(self) -> str:
+        """Feature gather index for full (B, k) state."""
+        return "rof + fidx" if self.vec else "fidx"
+
+    def _feat_act(self) -> str:
+        """Feature gather index for compacted active positions."""
+        return "rof0[act_r][:, None] + fidx" if self.vec else "fidx"
+
+    # -- sparse layout -------------------------------------------------
+    def sparse_walk(self) -> None:
+        e, g = self.e, self.g
+        walk = self.group.walk
+        shape = "(B, k)" if self.vec else "(k,)"
+        e.emit(f"state = _np.zeros({shape}, dtype=_np.int64)")
+
+        def advance() -> None:
+            e.emit("idx = bofs + state")
+            self.eval_tile("idx", self._feat_full())
+            e.emit(f"state = _np.take({g}_cb, idx) + ci")    # advanceToChild
+            e.emit()
+
+        if walk.style == "unrolled":
+            for _ in range(walk.depth - 1):
+                advance()
+            # Final step: uniform depth guarantees the leaves array.
+            e.emit("idx = bofs + state")
+            self.eval_tile("idx", self._feat_full())
+            e.emit(f"base = _np.take({g}_cb, idx)")
+            e.emit(f"vals = _np.take({g}_lv, lofs - base - 1 + ci)")
+            return
+
+        if walk.style == "peeled":
+            for _ in range(walk.peel):
+                advance()
+
+        if not self.lir.schedule.compact_walks:
+            # Ablation path: masked loop. Finished lanes re-evaluate the
+            # root harmlessly and keep their state under the mask; the loop
+            # runs to the *slowest* lane's depth.
+            e.emit("alive = state >= 0")
+            with e.block("while alive.any():"):
+                e.emit("t = _np.where(alive, state, 0)")
+                e.emit("idx = bofs + t")
+                self.eval_tile("idx", self._feat_full())
+                e.emit(f"base = _np.take({g}_cb, idx)")
+                e.emit("nxt = _np.where(base >= 0, base + ci, base - ci)")
+                e.emit("state = _np.where(alive, nxt, state)")
+                e.emit("alive = state >= 0")
+        elif self.vec:
+            e.emit("act_r, act_l = _np.nonzero(state >= 0)")
+            with e.block("while act_r.size:"):
+                e.emit("t = state[act_r, act_l]")
+                e.emit("idx = bofs0[act_l] + t")
+                self.eval_tile("idx", self._feat_act())
+                e.emit(f"base = _np.take({g}_cb, idx)")
+                e.emit("nxt = _np.where(base >= 0, base + ci, base - ci)")
+                e.emit("state[act_r, act_l] = nxt")
+                e.emit("keep = nxt >= 0")
+                e.emit("act_r = act_r[keep]")
+                e.emit("act_l = act_l[keep]")
+        else:
+            e.emit("act = _np.nonzero(state >= 0)[0]")
+            with e.block("while act.size:"):
+                e.emit("t = state[act]")
+                e.emit("idx = bofs[act] + t")
+                self.eval_tile("idx", "fidx")
+                e.emit(f"base = _np.take({g}_cb, idx)")
+                e.emit("nxt = _np.where(base >= 0, base + ci, base - ci)")
+                e.emit("state[act] = nxt")
+                e.emit("act = act[nxt >= 0]")
+        e.emit(f"vals = _np.take({g}_lv, lofs - state - 1)")
+
+    # -- array layout ----------------------------------------------------
+    def array_walk(self) -> None:
+        e, g = self.e, self.g
+        walk = self.group.walk
+        arity = self.layout.tile_size + 1
+        shape = "(B, k)" if self.vec else "(k,)"
+        e.emit(f"state = _np.zeros({shape}, dtype=_np.int64)")
+
+        def advance() -> None:
+            e.emit("idx = bofs + state")
+            self.eval_tile("idx", self._feat_full())
+            e.emit(f"state = state * {arity} + ci + 1")
+            e.emit()
+
+        if walk.style == "unrolled":
+            for _ in range(walk.depth):
+                advance()
+            e.emit(f"vals = _np.take({g}_lv, bofs + state)")
+            return
+
+        if walk.style == "peeled":
+            for _ in range(walk.peel):
+                advance()
+
+        if not self.lir.schedule.compact_walks:
+            # Ablation path: masked loop (see the sparse variant).
+            e.emit(f"alive = _np.take({g}_sid, bofs + state) >= 0")
+            with e.block("while alive.any():"):
+                e.emit("t = _np.where(alive, state, 0)")
+                e.emit("idx = bofs + t")
+                self.eval_tile("idx", self._feat_full())
+                e.emit(f"nxt = t * {arity} + ci + 1")
+                e.emit("state = _np.where(alive, nxt, state)")
+                e.emit(f"alive = _np.take({g}_sid, bofs + state) >= 0")
+            e.emit(f"vals = _np.take({g}_lv, bofs + state)")
+            return
+
+        if self.vec:
+            e.emit(f"act_r, act_l = _np.nonzero(_np.take({g}_sid, bofs + state) >= 0)")
+            with e.block("while act_r.size:"):
+                e.emit("t = state[act_r, act_l]")
+                e.emit("idx = bofs0[act_l] + t")
+                self.eval_tile("idx", self._feat_act())
+                e.emit(f"nxt = t * {arity} + ci + 1")
+                e.emit("state[act_r, act_l] = nxt")
+                e.emit(f"keep = _np.take({g}_sid, bofs0[act_l] + nxt) >= 0")
+                e.emit("act_r = act_r[keep]")
+                e.emit("act_l = act_l[keep]")
+        else:
+            e.emit(f"act = _np.nonzero(_np.take({g}_sid, bofs + state) >= 0)[0]")
+            with e.block("while act.size:"):
+                e.emit("t = state[act]")
+                e.emit("idx = bofs[act] + t")
+                self.eval_tile("idx", "fidx")
+                e.emit(f"nxt = t * {arity} + ci + 1")
+                e.emit("state[act] = nxt")
+                e.emit(f"act = act[_np.take({g}_sid, bofs[act] + nxt) >= 0]")
+        e.emit(f"vals = _np.take({g}_lv, bofs + state)")
+
+
+def _emit_group(e: _Emitter, lir: LIRModule, group: LIRGroup, vec: bool, target: str) -> None:
+    """Emit the tree-chunk loop + walk + accumulation for one group."""
+    g = f"g{group.group_id}"
+    layout = group.layout
+    if group.trivial:
+        # Depth-0 group: every member tree is a single leaf; its contribution
+        # is a per-class constant folded at compile time.
+        e.emit(f"{target} += {g}_const")
+        e.emit()
+        return
+    if layout.kind == "sparse" and bool(layout.root_leaf.any()):
+        raise CodegenError("single-leaf tree in a non-trivial group")
+    width = max(1, group.walk.width)
+    num_trees = layout.num_trees
+    ge = _GroupEmitter(e, lir, group, vec)
+    e.emit(f"# group {group.group_id}: {num_trees} trees, {layout.kind} layout, "
+           f"{group.walk.describe()}")
+    with e.block(f"for c0 in range(0, {num_trees}, {width}):"):
+        e.emit(f"k = min({width}, {num_trees} - c0)")
+        # Flat base offsets of this chunk's lanes: tiles and leaf values.
+        e.emit(f"bofs0 = {g}_laneT[c0:c0 + k]")
+        e.emit("bofs = bofs0" if not vec else "bofs = bofs0[None, :]")
+        if layout.kind == "sparse":
+            e.emit(f"lofs = {g}_laneL[c0:c0 + k]" + ("[None, :]" if vec else ""))
+            ge.sparse_walk()
+        else:
+            ge.array_walk()
+        e.emit(f"{target} += vals @ {g}_oh[c0:c0 + k]")
+    e.emit()
+
+
+def emit_module_source(lir: LIRModule) -> str:
+    """Emit the full ``predict_block(rows, out)`` source for ``lir``.
+
+    ``rows`` is a C-contiguous ``(B, F)`` float64 batch; ``out`` a
+    ``(B, num_classes)`` float64 accumulator pre-filled by the caller with
+    the base score. Model buffers resolve from the JIT namespace.
+    """
+    e = _Emitter()
+    one_row = lir.mir.loop_order == "one-row"
+    e.emit('"""Generated by repro.backend.codegen — do not edit."""')
+    with e.block("def predict_block(rows, out):"):
+        e.emit("B = rows.shape[0]")
+        if not one_row:
+            e.emit("rowsf = rows.reshape(-1)")
+            e.emit(f"rof0 = _np.arange(B, dtype=_np.int64) * {lir.num_features}")
+            e.emit("rof = rof0[:, None, None]")
+            e.emit()
+            for group in lir.groups:
+                _emit_group(e, lir, group, vec=True, target="out")
+        else:
+            with e.block("for i in range(B):"):
+                e.emit("row = rows[i]")
+                e.emit("acc = out[i]")
+                for group in lir.groups:
+                    _emit_group(e, lir, group, vec=False, target="acc")
+        e.emit("return out")
+    return e.source()
+
+
+def build_namespace(lir: LIRModule) -> dict:
+    """The globals the generated source runs against.
+
+    Layout buffers are flattened with per-lane base offsets precomputed and
+    all index-bearing arrays widened to int64 (NumPy's fast path for
+    ``take``). The LUT is flattened to one int64 vector indexed by
+    ``shape_id * row_length + bits``.
+    """
+    ns: dict = {"_np": np, "lut": np.ascontiguousarray(lir.lut, dtype=np.int64).reshape(-1)}
+    for group in lir.groups:
+        g = f"g{group.group_id}"
+        layout = group.layout
+        num_classes = lir.num_classes
+        if group.trivial:
+            const = np.zeros(num_classes, dtype=np.float64)
+            if layout.kind == "sparse":
+                values = layout.leaves[:, 0]
+            else:
+                values = layout.leaf_values[:, 0]
+            np.add.at(const, layout.class_ids, values)
+            ns[f"{g}_const"] = const
+            continue
+        k, tiles, width = layout.thresholds.shape
+        if width > 8:
+            ns["p2"] = (1 << np.arange(width, dtype=np.uint32))
+        ns[f"{g}_th"] = np.ascontiguousarray(
+            layout.thresholds.reshape(k * tiles, width), dtype=np.float64
+        )
+        ns[f"{g}_fi"] = np.ascontiguousarray(
+            layout.features.reshape(k * tiles, width), dtype=np.int64
+        )
+        ns[f"{g}_sid"] = layout.shape_ids.reshape(-1).astype(np.int64)
+        ns[f"{g}_laneT"] = np.arange(k, dtype=np.int64) * tiles
+        if layout.kind == "sparse":
+            ns[f"{g}_cb"] = layout.child_base.reshape(-1).astype(np.int64)
+            leaves = layout.leaves
+            ns[f"{g}_lv"] = np.ascontiguousarray(leaves.reshape(-1), dtype=np.float64)
+            ns[f"{g}_laneL"] = np.arange(k, dtype=np.int64) * leaves.shape[1]
+        else:
+            ns[f"{g}_lv"] = np.ascontiguousarray(
+                layout.leaf_values.reshape(-1), dtype=np.float64
+            )
+            # Array layout leaf offsets coincide with tile offsets (per-slot
+            # leaf values), so laneT doubles as the value base.
+        onehot = np.zeros((layout.num_trees, num_classes), dtype=np.float64)
+        onehot[np.arange(layout.num_trees), layout.class_ids] = 1.0
+        ns[f"{g}_oh"] = onehot
+    return ns

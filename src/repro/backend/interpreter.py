@@ -1,0 +1,79 @@
+"""Reference interpreter for LIR modules.
+
+Executes the exact buffers the codegen backend uses, but one row and one
+tree at a time in plain Python. Predictions must match the compiled kernel
+bit for bit (same buffers, same traversal, same accumulation grouping), so
+the pair {interpreter, codegen} cross-checks both the layouts and the
+generated code. Deliberately unoptimized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.lir.ir import LIRGroup, LIRModule
+
+
+def _tile_bits(thresholds: np.ndarray, features: np.ndarray, row: np.ndarray) -> int:
+    """Predicate bits for one tile: bit i = (row[feature_i] < threshold_i)."""
+    bits = 0
+    for pos in range(thresholds.shape[0]):
+        if row[features[pos]] < thresholds[pos]:
+            bits |= 1 << pos
+    return bits
+
+
+def _walk_sparse(group: LIRGroup, lut: np.ndarray, lane: int, row: np.ndarray) -> float:
+    layout = group.layout
+    if layout.root_leaf[lane]:
+        return float(layout.leaves[lane, 0])
+    tile = 0
+    for _ in range(10_000):
+        bits = _tile_bits(layout.thresholds[lane, tile], layout.features[lane, tile], row)
+        child = int(lut[layout.shape_ids[lane, tile], bits])
+        base = int(layout.child_base[lane, tile])
+        if base < 0:
+            return float(layout.leaves[lane, -base - 1 + child])
+        tile = base + child
+    raise ExecutionError("sparse walk did not terminate (corrupt layout)")
+
+
+def _walk_array(group: LIRGroup, lut: np.ndarray, lane: int, row: np.ndarray) -> float:
+    layout = group.layout
+    arity = layout.tile_size + 1
+    slot = 0
+    for _ in range(10_000):
+        sid = int(layout.shape_ids[lane, slot])
+        if sid == -1:
+            return float(layout.leaf_values[lane, slot])
+        if sid < -1:
+            raise ExecutionError(f"walk reached empty slot {slot}")
+        bits = _tile_bits(layout.thresholds[lane, slot], layout.features[lane, slot], row)
+        child = int(lut[sid, bits])
+        slot = slot * arity + child + 1
+    raise ExecutionError("array walk did not terminate (corrupt layout)")
+
+
+def interpret_lir(lir: LIRModule, rows: np.ndarray) -> np.ndarray:
+    """Run the full model on ``rows`` through the reference interpreter.
+
+    Returns the raw margin array shaped ``(B, num_classes)``.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    out = np.full((rows.shape[0], lir.num_classes), lir.base_score, dtype=np.float64)
+    walk = {"sparse": _walk_sparse, "array": _walk_array}
+    for group in lir.groups:
+        layout = group.layout
+        step = walk[layout.kind]
+        for i, row in enumerate(rows):
+            for lane in range(layout.num_trees):
+                if group.trivial:
+                    if layout.kind == "sparse":
+                        value = float(layout.leaves[lane, 0])
+                    else:
+                        value = float(layout.leaf_values[lane, 0])
+                else:
+                    value = step(group, lir.lut, lane, row)
+                out[i, int(group.class_ids[lane])] += value
+    return out

@@ -1,0 +1,47 @@
+"""JIT compilation of generated inference source.
+
+``compile_lir`` emits source for an LIR module, compiles it with the
+built-in :func:`compile` (our stand-in for the LLVM JIT), and executes it in
+a namespace holding the model buffers. Code objects are cached by source
+text, so models that lower to identical code (e.g. the same schedule on
+isomorphic models) share compilation work — the payoff of tree reordering's
+code sharing, at the module level.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.backend.codegen import build_namespace, emit_module_source
+from repro.errors import CodegenError
+from repro.lir.ir import LIRModule
+
+_CODE_CACHE: dict[str, object] = {}
+
+
+def compile_source(source: str, namespace: dict) -> Callable:
+    """Compile ``source`` and return its ``predict_block`` bound to ``namespace``."""
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        try:
+            code = compile(source, filename="<repro-jit>", mode="exec")
+        except SyntaxError as exc:  # codegen bug: surface the source context
+            raise CodegenError(f"generated source failed to compile: {exc}") from exc
+        _CODE_CACHE[source] = code
+    exec(code, namespace)
+    fn = namespace.get("predict_block")
+    if fn is None:
+        raise CodegenError("generated source did not define predict_block")
+    return fn
+
+
+def compile_lir(lir: LIRModule) -> tuple[Callable, str]:
+    """Emit + compile ``lir``; returns ``(predict_block, source)``."""
+    source = emit_module_source(lir)
+    namespace = build_namespace(lir)
+    return compile_source(source, namespace), source
+
+
+def cache_size() -> int:
+    """Number of distinct compiled sources (for tests/diagnostics)."""
+    return len(_CODE_CACHE)

@@ -1,0 +1,95 @@
+"""Parallel execution of compiled inference kernels (Section IV-C).
+
+Treebeard parallelizes naively: the row loop is tiled by the core count and
+each core runs the full tree nest on its block. Two realizations are
+provided:
+
+* :func:`parallel_predict` — real threads. Output blocks are disjoint, so
+  no synchronization is needed. (NumPy releases the GIL in many kernels;
+  scaling on a real multicore machine is partial but genuine.)
+* :class:`MulticoreSimulator` — a deterministic model for scaling studies
+  on hosts without enough cores: each block is executed and timed serially,
+  and the simulated wall-clock is ``max(block times) + spawn overhead``,
+  optionally inflated by a memory-bandwidth contention factor. This is the
+  substitution used for the paper's 16-core results (Figures 7b, 8b, 13).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+def row_blocks(num_rows: int, num_blocks: int) -> list[tuple[int, int]]:
+    """Split ``num_rows`` into ``num_blocks`` near-equal contiguous ranges."""
+    num_blocks = max(1, min(num_blocks, num_rows)) if num_rows else 1
+    bounds = np.linspace(0, num_rows, num_blocks + 1).astype(np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(num_blocks)]
+
+
+def parallel_predict(
+    kernel: Callable,
+    rows: np.ndarray,
+    out: np.ndarray,
+    num_threads: int,
+) -> np.ndarray:
+    """Run ``kernel`` over row blocks on a thread pool; returns ``out``."""
+    blocks = row_blocks(rows.shape[0], num_threads)
+    if len(blocks) <= 1:
+        kernel(rows, out)
+        return out
+    with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
+        futures = [
+            pool.submit(kernel, rows[lo:hi], out[lo:hi]) for lo, hi in blocks
+        ]
+        for future in futures:
+            future.result()
+    return out
+
+
+@dataclass
+class MulticoreSimulator:
+    """Deterministic multicore timing model over measured serial blocks.
+
+    Attributes
+    ----------
+    spawn_overhead_s:
+        Fixed fork/join cost added per parallel region.
+    bandwidth_factor:
+        Per-extra-core slowdown fraction modeling shared memory-bandwidth
+        contention: with ``c`` cores each block is inflated by
+        ``1 + bandwidth_factor * (c - 1)``. Zero = perfectly parallel.
+    utilization:
+        Fraction of cores the runtime actually keeps busy (the paper
+        observed Hummingbird using ~3 of 16 cores); effective cores =
+        ``max(1, round(c * utilization))``.
+    """
+
+    spawn_overhead_s: float = 20e-6
+    bandwidth_factor: float = 0.01
+    utilization: float = 1.0
+
+    def run(
+        self,
+        kernel: Callable,
+        rows: np.ndarray,
+        out: np.ndarray,
+        cores: int,
+    ) -> tuple[np.ndarray, float]:
+        """Execute all blocks serially; return ``(out, simulated_seconds)``."""
+        effective = max(1, int(round(cores * self.utilization)))
+        blocks = row_blocks(rows.shape[0], effective)
+        times = []
+        for lo, hi in blocks:
+            start = time.perf_counter()
+            kernel(rows[lo:hi], out[lo:hi])
+            times.append(time.perf_counter() - start)
+        contention = 1.0 + self.bandwidth_factor * (effective - 1)
+        simulated = max(times) * contention
+        if effective > 1:
+            simulated += self.spawn_overhead_s
+        return out, simulated

@@ -1,0 +1,108 @@
+"""The compiled predictor: Treebeard's ``predictForest`` entry point.
+
+A :class:`Predictor` owns the lowered module, the JIT-compiled kernel and
+the runtime policy (row blocking, parallel degree). It exposes raw margins
+(:meth:`raw_predict`) and objective-transformed predictions
+(:meth:`predict`), plus introspection hooks used heavily by the tests and
+experiments: the generated source, the LIR dump, and buffer footprints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.jit import compile_lir
+from repro.backend.parallel import MulticoreSimulator, parallel_predict
+from repro.config import Schedule
+from repro.errors import ExecutionError
+from repro.forest.ensemble import Forest, sigmoid, softmax
+from repro.lir.ir import LIRModule
+
+
+class Predictor:
+    """Executable inference function for one compiled model."""
+
+    def __init__(self, forest: Forest, lir: LIRModule, validate_inputs: bool = True) -> None:
+        self.forest = forest
+        self.lir = lir
+        self.schedule: Schedule = lir.schedule
+        self.validate_inputs = validate_inputs
+        self.kernel, self.source = compile_lir(lir)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _check(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.ascontiguousarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.lir.num_features:
+            raise ExecutionError(
+                f"rows must be (n, {self.lir.num_features}), got {rows.shape}"
+            )
+        if self.validate_inputs and np.isnan(rows).any():
+            raise ExecutionError(
+                "NaN inputs are unsupported: speculative tile evaluation "
+                "requires totally ordered features"
+            )
+        return rows
+
+    def _alloc_out(self, n: int) -> np.ndarray:
+        return np.full((n, self.lir.num_classes), self.lir.base_score, dtype=np.float64)
+
+    def raw_predict(self, rows: np.ndarray) -> np.ndarray:
+        """Raw margins; matches ``Forest.raw_predict`` up to accumulation order."""
+        rows = self._check(rows)
+        out = self._alloc_out(rows.shape[0])
+        threads = self.schedule.parallel
+        if threads > 1:
+            parallel_predict(self._run_blocks, rows, out, threads)
+        else:
+            self._run_blocks(rows, out)
+        return out[:, 0] if self.lir.num_classes == 1 else out
+
+    def _run_blocks(self, rows: np.ndarray, out: np.ndarray) -> None:
+        block = self.schedule.row_block or max(rows.shape[0], 1)
+        for lo in range(0, rows.shape[0], block):
+            hi = min(lo + block, rows.shape[0])
+            self.kernel(rows[lo:hi], out[lo:hi])
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        """Objective-transformed predictions (probabilities for classifiers)."""
+        raw = self.raw_predict(rows)
+        if self.forest.objective == "binary:logistic":
+            return sigmoid(raw)
+        if self.forest.objective == "multiclass":
+            return softmax(raw)
+        return raw
+
+    def predict_simulated_parallel(
+        self, rows: np.ndarray, cores: int, simulator: MulticoreSimulator | None = None
+    ) -> tuple[np.ndarray, float]:
+        """Run under the multicore timing model; returns (raw, seconds)."""
+        rows = self._check(rows)
+        out = self._alloc_out(rows.shape[0])
+        sim = simulator or MulticoreSimulator()
+        _, seconds = sim.run(self._run_blocks, rows, out, cores)
+        raw = out[:, 0] if self.lir.num_classes == 1 else out
+        return raw, seconds
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def generated_source(self) -> str:
+        """The JIT-compiled Python/NumPy source of ``predict_block``."""
+        return self.source
+
+    def memory_bytes(self) -> int:
+        """Model-buffer footprint of the chosen in-memory representation."""
+        return self.lir.total_nbytes()
+
+    def dump_ir(self) -> str:
+        """MIR loop nest + LIR summary, for docs and debugging."""
+        return self.lir.mir.dump() + "\n" + self.lir.dump()
+
+    def __repr__(self) -> str:
+        return (
+            f"Predictor(trees={self.forest.num_trees}, schedule={self.schedule}, "
+            f"bytes={self.memory_bytes()})"
+        )

@@ -1,0 +1,120 @@
+"""QuickScorer: bitvector-based ensemble traversal (Lucchese et al., SIGIR'15).
+
+The paper cites QuickScorer as an orthogonal traversal strategy that could
+be integrated into Treebeard; it is implemented here both as a baseline and
+as that suggested extension. The algorithm inverts control: instead of
+walking each tree, it visits only the *false* nodes (``x >= threshold``) of
+the whole ensemble, ANDing away the leaves each false node makes
+unreachable; the exit leaf of every tree is then the leftmost surviving bit.
+
+False nodes are found with one binary search per feature over
+threshold-sorted node lists, so per-row work is proportional to the number
+of false nodes — excellent for small trees, but the per-tree bitvectors cap
+the tree size (<= 64 leaves here), matching the scaling limitation the paper
+notes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.forest.ensemble import Forest
+from repro.forest.tree import DecisionTree
+
+_MAX_LEAVES = 64
+
+
+def _leaf_order(tree: DecisionTree) -> dict[int, int]:
+    """Left-to-right (in-order) position of each leaf."""
+    order: dict[int, int] = {}
+
+    def visit(node: int) -> None:
+        if tree.is_leaf(node):
+            order[node] = len(order)
+            return
+        visit(int(tree.left[node]))
+        visit(int(tree.right[node]))
+
+    visit(0)
+    return order
+
+
+def _node_masks(tree: DecisionTree, leaf_pos: dict[int, int]) -> dict[int, int]:
+    """For each internal node: bitvector clearing its left subtree's leaves."""
+    full = (1 << len(leaf_pos)) - 1
+    masks: dict[int, int] = {}
+
+    def fill(node: int) -> int:
+        """Returns the leaf bits under ``node``, recording masks on the way."""
+        if tree.is_leaf(node):
+            return 1 << leaf_pos[node]
+        left_bits = fill(int(tree.left[node]))
+        right_bits = fill(int(tree.right[node]))
+        masks[node] = full & ~left_bits
+        return left_bits | right_bits
+
+    fill(0)
+    return masks
+
+
+class QuickScorerPredictor:
+    """Bitvector ensemble scorer (trees limited to 64 leaves)."""
+
+    name = "quickscorer"
+
+    def __init__(self, forest: Forest) -> None:
+        self.forest = forest
+        for tree in forest.trees:
+            if tree.num_leaves > _MAX_LEAVES:
+                raise ModelError(
+                    f"QuickScorer supports at most {_MAX_LEAVES} leaves per "
+                    f"tree; tree {tree.tree_id} has {tree.num_leaves}"
+                )
+        self._build()
+
+    def _build(self) -> None:
+        forest = self.forest
+        num_trees = forest.num_trees
+        self.full_mask = np.zeros(num_trees, dtype=np.uint64)
+        max_leaves = max(t.num_leaves for t in forest.trees)
+        self.leaf_values = np.zeros((num_trees, max_leaves), dtype=np.float64)
+        per_feature: dict[int, list[tuple[float, int, int]]] = {}
+        for t, tree in enumerate(forest.trees):
+            leaf_pos = _leaf_order(tree)
+            self.full_mask[t] = (1 << tree.num_leaves) - 1
+            for leaf, pos in leaf_pos.items():
+                self.leaf_values[t, pos] = tree.value[leaf]
+            masks = _node_masks(tree, leaf_pos)
+            for node, mask in masks.items():
+                per_feature.setdefault(int(tree.feature[node]), []).append(
+                    (float(tree.threshold[node]), t, mask)
+                )
+        self.features = sorted(per_feature)
+        self.thresholds: dict[int, np.ndarray] = {}
+        self.tree_ids: dict[int, np.ndarray] = {}
+        self.masks: dict[int, np.ndarray] = {}
+        for f, entries in per_feature.items():
+            entries.sort(key=lambda e: e[0])
+            self.thresholds[f] = np.asarray([e[0] for e in entries], dtype=np.float64)
+            self.tree_ids[f] = np.asarray([e[1] for e in entries], dtype=np.int64)
+            self.masks[f] = np.asarray([e[2] for e in entries], dtype=np.uint64)
+        self.class_ids = forest.class_ids()
+
+    def raw_predict(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.float64)
+        forest = self.forest
+        out = np.full((rows.shape[0], forest.num_classes), forest.base_score)
+        tree_idx = np.arange(forest.num_trees)
+        for i, row in enumerate(rows):
+            v = self.full_mask.copy()
+            for f in self.features:
+                # Nodes with threshold <= x are false (x < t fails).
+                count = int(np.searchsorted(self.thresholds[f], row[f], side="right"))
+                if count:
+                    np.bitwise_and.at(v, self.tree_ids[f][:count], self.masks[f][:count])
+            # Leftmost surviving bit per tree = exit leaf position.
+            low = v & (np.uint64(0) - v)
+            leaf = np.log2(low.astype(np.float64)).astype(np.int64)
+            np.add.at(out[i], self.class_ids, self.leaf_values[tree_idx, leaf])
+        return out[:, 0] if forest.num_classes == 1 else out

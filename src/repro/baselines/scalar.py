@@ -1,0 +1,37 @@
+"""Naive scalar inference: the textbook per-row binary tree walk."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forest.ensemble import Forest
+
+
+class ScalarReferencePredictor:
+    """Per-row, per-tree scalar traversal with no optimizations.
+
+    This is the unvectorized reference everything else is compared against
+    in unit tests; it is also the closest analog to a naively written C
+    implementation (the paper's "naïve implementation strategies").
+    """
+
+    name = "scalar-reference"
+
+    def __init__(self, forest: Forest) -> None:
+        self.forest = forest
+
+    def raw_predict(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.float64)
+        forest = self.forest
+        out = np.full((rows.shape[0], forest.num_classes), forest.base_score)
+        for i, row in enumerate(rows):
+            for tree in forest.trees:
+                node = 0
+                left = tree.left
+                while left[node] != -1:
+                    if row[tree.feature[node]] < tree.threshold[node]:
+                        node = left[node]
+                    else:
+                        node = tree.right[node]
+                out[i, tree.class_id] += tree.value[node]
+        return out[:, 0] if forest.num_classes == 1 else out

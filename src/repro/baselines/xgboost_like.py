@@ -1,0 +1,102 @@
+"""XGBoost-style library predictors.
+
+Both variants traverse plain binary trees stored as flat node arrays — no
+tiling, no LUT, no model specialization, exactly the library strategy the
+paper contrasts with compilation. The two loop orders reproduce the change
+XGBoost made between v0.9 and v1.5 (PR #6127), which the paper analyzes in
+Sections VI-C and VI-E (*OneRow* vs *OneTree*):
+
+* :class:`XGBoostV15Predictor` — one tree at a time for the whole batch,
+  stepping every row through a tree level by level (good tree reuse).
+* :class:`XGBoostV09Predictor` — one row at a time over all trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forest.ensemble import Forest
+
+
+class _FlatTrees:
+    """All trees packed into contiguous node arrays with per-tree offsets."""
+
+    def __init__(self, forest: Forest) -> None:
+        offsets = np.zeros(forest.num_trees + 1, dtype=np.int64)
+        for i, tree in enumerate(forest.trees):
+            offsets[i + 1] = offsets[i] + tree.num_nodes
+        total = int(offsets[-1])
+        self.offsets = offsets
+        self.feature = np.empty(total, dtype=np.int32)
+        self.threshold = np.empty(total, dtype=np.float64)
+        self.left = np.empty(total, dtype=np.int64)
+        self.right = np.empty(total, dtype=np.int64)
+        self.value = np.empty(total, dtype=np.float64)
+        for i, tree in enumerate(forest.trees):
+            lo, hi = offsets[i], offsets[i + 1]
+            self.feature[lo:hi] = tree.feature
+            self.threshold[lo:hi] = tree.threshold
+            # Child ids are rebased so node indices are global.
+            has_kids = tree.left != -1
+            self.left[lo:hi] = np.where(has_kids, tree.left + lo, -1)
+            self.right[lo:hi] = np.where(has_kids, tree.right + lo, -1)
+            self.value[lo:hi] = tree.value
+        self.class_ids = forest.class_ids()
+
+
+class XGBoostV15Predictor:
+    """One-tree-at-a-time batch traversal (XGBoost >= 1.5 loop order)."""
+
+    name = "xgboost-v1.5"
+
+    def __init__(self, forest: Forest) -> None:
+        self.forest = forest
+        self.flat = _FlatTrees(forest)
+
+    def raw_predict(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.float64)
+        n = rows.shape[0]
+        forest = self.forest
+        flat = self.flat
+        out = np.full((n, forest.num_classes), forest.base_score)
+        ridx = np.arange(n)
+        for t in range(forest.num_trees):
+            node = np.full(n, flat.offsets[t], dtype=np.int64)
+            active = flat.left[node] != -1
+            while active.any():
+                cur = node[active]
+                go_left = rows[ridx[active], flat.feature[cur]] < flat.threshold[cur]
+                node[active] = np.where(go_left, flat.left[cur], flat.right[cur])
+                active = flat.left[node] != -1
+            out[:, flat.class_ids[t]] += flat.value[node]
+        return out[:, 0] if forest.num_classes == 1 else out
+
+
+class XGBoostV09Predictor:
+    """One-row-at-a-time traversal (XGBoost < 1.0 loop order)."""
+
+    name = "xgboost-v0.9"
+
+    def __init__(self, forest: Forest) -> None:
+        self.forest = forest
+        self.flat = _FlatTrees(forest)
+
+    def raw_predict(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.float64)
+        forest = self.forest
+        flat = self.flat
+        feature, threshold = flat.feature, flat.threshold
+        left, right, value = flat.left, flat.right, flat.value
+        out = np.full((rows.shape[0], forest.num_classes), forest.base_score)
+        roots = flat.offsets[:-1]
+        for i, row in enumerate(rows):
+            acc = out[i]
+            for t, root in enumerate(roots):
+                node = root
+                while left[node] != -1:
+                    if row[feature[node]] < threshold[node]:
+                        node = left[node]
+                    else:
+                        node = right[node]
+                acc[flat.class_ids[t]] += value[node]
+        return out[:, 0] if forest.num_classes == 1 else out

@@ -1,0 +1,135 @@
+"""Compiler schedules: the optimization configuration space of Table II.
+
+A :class:`Schedule` bundles every knob the paper explores — tile size,
+tiling algorithm, loop order, padding/unrolling, walk interleaving, the
+leaf-bias thresholds ⟨alpha, beta⟩ — plus the in-memory layout choice of
+Section V-B and the parallelization degree of Section IV-C. Schedules are
+plain frozen dataclasses: the autotuner enumerates them, and every pipeline
+stage reads its decisions from the one schedule attached to the module being
+compiled (the paper's "annotation" mechanism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ScheduleError
+
+TILINGS = ("basic", "probability", "hybrid", "optimal")
+LOOP_ORDERS = ("one-tree", "one-row")
+LAYOUTS = ("array", "sparse")
+TRAVERSALS = ("tiled", "quickscorer")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One point in the optimization space.
+
+    Attributes
+    ----------
+    tile_size:
+        Nodes per tile (Table II explores 1, 2, 4, 8). Size 1 disables
+        tiling-derived vectorization across the tile dimension.
+    tiling:
+        ``"basic"`` (Algorithm 2 everywhere), ``"probability"``
+        (Algorithm 1 everywhere), ``"hybrid"`` (Algorithm 1 only for
+        leaf-biased trees — the paper's evaluated policy), or
+        ``"optimal"`` (the dynamic-programming solver the paper mentions
+        but does not implement; exact on the expected-walk objective).
+    loop_order:
+        ``"one-tree"`` walks one tree (group) for all rows before the next;
+        ``"one-row"`` walks all trees for a row before the next row.
+    pad_and_unroll:
+        Pad almost-balanced tiled trees with dummy tiles to uniform depth and
+        fully unroll their walks (Sections III-F, IV-B).
+    pad_max_slack:
+        Maximum (max - min) leaf-tile depth for a tree to count as "almost
+        balanced" and be padded.
+    peel_walk:
+        Peel the walk loop up to the depth of the shallowest leaf so the
+        peeled prologue skips leaf checks (Section IV-B).
+    interleave:
+        Unroll-and-jam factor: how many tree walks are advanced together
+        (Section IV-A). 1 disables interleaving.
+    layout:
+        In-memory representation of tiled trees: ``"array"`` or ``"sparse"``
+        (Section V-B).
+    alpha, beta:
+        Leaf-bias thresholds for hybrid tiling (Section III-C).
+    parallel:
+        Number of cores for the row-loop parallelization of Section IV-C;
+        1 means serial.
+    row_block:
+        Rows processed per kernel invocation; 0 processes the entire batch
+        at once. (Blocking matters for the cache behaviour studied in VI-E.)
+    reorder:
+        Group trees that can share traversal code (Section III-F).
+    compact_walks:
+        Guarded walk loops compact to the active (row, tree) set each step
+        — the vectorized analog of the scalar walk's early exit. Disabled,
+        finished lanes idle under a mask until the slowest lane terminates
+        (an ablation knob; see ``repro.experiments.ablations``).
+    """
+
+    tile_size: int = 8
+    tiling: str = "hybrid"
+    loop_order: str = "one-tree"
+    pad_and_unroll: bool = True
+    pad_max_slack: int = 2
+    peel_walk: bool = True
+    interleave: int = 8
+    layout: str = "sparse"
+    alpha: float = 0.075
+    beta: float = 0.9
+    parallel: int = 1
+    row_block: int = 0
+    reorder: bool = True
+    compact_walks: bool = True
+    #: walk implementation: ``"tiled"`` is the paper's tile-walk pipeline;
+    #: ``"quickscorer"`` compiles the QuickScorer bitvector strategy instead
+    #: (Section VII names it as an integrable alternative traversal).
+    #: QuickScorer ignores the tiling-related knobs and caps trees at 64
+    #: leaves.
+    traversal: str = "tiled"
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.tile_size <= 16):
+            raise ScheduleError(f"tile_size must be in [1, 16], got {self.tile_size}")
+        if self.tiling not in TILINGS:
+            raise ScheduleError(f"tiling must be one of {TILINGS}, got {self.tiling!r}")
+        if self.loop_order not in LOOP_ORDERS:
+            raise ScheduleError(f"loop_order must be one of {LOOP_ORDERS}")
+        if self.layout not in LAYOUTS:
+            raise ScheduleError(f"layout must be one of {LAYOUTS}")
+        if self.interleave < 1:
+            raise ScheduleError("interleave factor must be >= 1")
+        if self.parallel < 1:
+            raise ScheduleError("parallel degree must be >= 1")
+        if not (0 < self.alpha <= 1) or not (0 < self.beta <= 1):
+            raise ScheduleError("alpha and beta must be in (0, 1]")
+        if self.row_block < 0:
+            raise ScheduleError("row_block must be >= 0")
+        if self.pad_max_slack < 0:
+            raise ScheduleError("pad_max_slack must be >= 0")
+        if self.traversal not in TRAVERSALS:
+            raise ScheduleError(f"traversal must be one of {TRAVERSALS}")
+
+    @classmethod
+    def scalar_baseline(cls) -> "Schedule":
+        """The unoptimized configuration the paper's speedups are measured
+        against: tile size 1, one row at a time, no reordering/padding/
+        interleaving (Section VI, "scalar baseline")."""
+        return cls(
+            tile_size=1,
+            tiling="basic",
+            loop_order="one-row",
+            pad_and_unroll=False,
+            peel_walk=False,
+            interleave=1,
+            layout="array",
+            reorder=False,
+        )
+
+    def with_(self, **updates) -> "Schedule":
+        """A copy of this schedule with some fields replaced."""
+        return replace(self, **updates)

@@ -1,0 +1,235 @@
+"""The eight Table-I benchmarks, with training and on-disk caching.
+
+Structural parameters (features, trees, depth, classes) follow Table I of
+the paper. ``scale`` shrinks tree counts proportionally — CPython training
+and per-row baselines make full-size models expensive on small hosts — while
+keeping depth, feature count and leaf-bias character intact; experiments
+record the scale they ran at. Trained models (with leaf statistics) are
+cached as JSON under ``.bench_cache/`` keyed by spec + scale + seed.
+
+The prototype parameters of each spec are calibrated so the measured
+leaf-biased tree fraction (at ⟨alpha=0.075, beta=0.9⟩) tracks the paper's
+#Leaf-biased column: airline-ohe almost fully biased, abalone/covtype
+partially, epsilon/letter/year not at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.datasets.synthetic import generate_dataset
+from repro.errors import ModelError
+from repro.forest.ensemble import Forest
+from repro.forest.statistics import populate_node_probabilities
+from repro.training.gbdt import GBDTParams, train_gbdt
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One benchmark: Table-I parameters plus generator/trainer settings.
+
+    ``paper_leaf_biased`` is the #Leaf-biased column of Table I (at
+    ⟨alpha=0.075, beta=0.9⟩), reported alongside our measured counts.
+    """
+
+    name: str
+    num_features: int
+    num_trees: int
+    max_depth: int
+    paper_leaf_biased: int
+    objective: str = "regression"
+    num_classes: int = 1
+    feature_kind: str = "normal"
+    train_rows: int = 2500
+    active_features: int = 8
+    learning_rate: float = 0.1
+    reg_lambda: float = 1e-3
+    colsample: float = 1.0
+    noise: float = 0.3
+    prototype_fraction: float = 0.0
+    prototype_count: int = 10
+    prototype_feature_fraction: float = 1.0
+    prototype_zipf: float = 2.0
+
+    @property
+    def rounds_per_class(self) -> int:
+        return self.num_trees // max(1, self.num_classes)
+
+
+#: Table I of the paper, as dataset specs.
+BENCHMARKS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            "abalone", 8, 1000, 7, 438, feature_kind="skewed",
+            prototype_fraction=0.95, prototype_feature_fraction=0.85, colsample=0.6,
+        ),
+        DatasetSpec(
+            "airline", 13, 100, 9, 8, objective="binary:logistic",
+            feature_kind="mixed", prototype_fraction=0.93, prototype_zipf=2.5,
+            prototype_feature_fraction=0.75, colsample=0.6,
+        ),
+        DatasetSpec(
+            "airline-ohe", 692, 1000, 9, 976,
+            objective="binary:logistic", feature_kind="onehot",
+            active_features=120, noise=0.8, train_rows=1500,
+            prototype_fraction=0.97, prototype_count=8, prototype_zipf=3.0,
+        ),
+        DatasetSpec(
+            "covtype", 54, 800, 9, 283,
+            objective="multiclass", num_classes=8, feature_kind="mixed",
+            prototype_fraction=0.95, prototype_feature_fraction=0.9, colsample=0.5,
+        ),
+        DatasetSpec(
+            "epsilon", 2000, 100, 9, 0,
+            objective="binary:logistic", feature_kind="normal",
+            train_rows=1200, active_features=64,
+        ),
+        DatasetSpec(
+            "letter", 16, 2600, 7, 0,
+            objective="multiclass", num_classes=26, feature_kind="uniform",
+        ),
+        DatasetSpec(
+            "higgs", 28, 100, 9, 8, objective="binary:logistic",
+            feature_kind="mixed", prototype_fraction=0.88, prototype_zipf=2.5,
+            prototype_feature_fraction=0.6, colsample=0.6,
+        ),
+        DatasetSpec("year", 90, 100, 9, 0, feature_kind="normal"),
+    )
+}
+
+
+def get_benchmark(name: str) -> DatasetSpec:
+    """Look up a benchmark spec by name."""
+    if name not in BENCHMARKS:
+        raise ModelError(f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}")
+    return BENCHMARKS[name]
+
+
+def _generate(
+    spec: DatasetSpec, rows: int, seed: int, weighted: bool = False
+):
+    return generate_dataset(
+        num_rows=rows,
+        num_features=spec.num_features,
+        objective=spec.objective,
+        num_classes=spec.num_classes,
+        feature_kind=spec.feature_kind,
+        active_features=spec.active_features,
+        noise=spec.noise,
+        prototype_fraction=spec.prototype_fraction,
+        prototype_count=spec.prototype_count,
+        prototype_feature_fraction=spec.prototype_feature_fraction,
+        prototype_zipf=spec.prototype_zipf,
+        weighted=weighted,
+        seed=seed,
+    )
+
+
+def train_benchmark(
+    spec: DatasetSpec | str,
+    scale: float = 1.0,
+    seed: int = 0,
+    train_rows: int | None = None,
+) -> tuple[Forest, np.ndarray]:
+    """Train a benchmark model; returns ``(forest, X_train)``.
+
+    Training uses the weighted representation of the benchmark distribution
+    (prototype clusters carry their Zipf mass as sample weights), and the
+    forest's node probabilities are populated with the same weights — so the
+    leaf statistics match what physically sampled heavy-hitter data would
+    produce, at a fraction of the training cost.
+    """
+    if isinstance(spec, str):
+        spec = get_benchmark(spec)
+    rows = train_rows or spec.train_rows
+    X, y, w = _generate(spec, rows, seed, weighted=True)
+    rounds = max(1, int(round(spec.rounds_per_class * scale)))
+    params = GBDTParams(
+        num_rounds=rounds,
+        max_depth=spec.max_depth,
+        learning_rate=spec.learning_rate,
+        reg_lambda=spec.reg_lambda,
+        colsample=spec.colsample,
+        min_child_weight=1e-3,
+        objective=spec.objective,
+        num_classes=spec.num_classes,
+        seed=seed,
+    )
+    forest = train_gbdt(X, y, params, sample_weight=w)
+    populate_node_probabilities(forest, X, weights=w)
+    return forest, X
+
+
+def _cache_dir() -> str:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root is None:
+        here = os.path.abspath(__file__)
+        repo = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(here))))
+        root = os.path.join(repo, ".bench_cache")
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def load_benchmark_model(
+    name: str, scale: float = 1.0, seed: int = 0, use_cache: bool = True
+) -> tuple[Forest, np.ndarray]:
+    """Train-or-load a cached benchmark model; returns ``(forest, X_train)``.
+
+    The training matrix is regenerated deterministically from the seed, so
+    only the forest itself is cached.
+    """
+    spec = get_benchmark(name)
+    key = f"{name}_s{scale:g}_r{seed}.json"
+    path = os.path.join(_cache_dir(), key)
+    if use_cache and os.path.exists(path):
+        with open(path) as f:
+            forest = Forest.from_dict(json.load(f))
+        X, _ = _generate(spec, spec.train_rows, seed)
+        return forest, X
+    forest, X = train_benchmark(spec, scale=scale, seed=seed)
+    if use_cache:
+        with open(path, "w") as f:
+            json.dump(forest.to_dict(), f)
+    return forest, X
+
+
+def fresh_rows(
+    spec: DatasetSpec | str, num_rows: int, seed: int = 10_000, diffuse: bool = False
+) -> np.ndarray:
+    """Generate an inference batch drawn from the benchmark's distribution.
+
+    ``diffuse=True`` samples only the diffuse component (no prototype
+    heavy-hitters): every row then takes its own path through the trees,
+    which is the right input for cache-behaviour studies where path
+    diversity, not the skew, is under test.
+    """
+    if isinstance(spec, str):
+        spec = get_benchmark(spec)
+    if diffuse:
+        spec = replace(spec, prototype_fraction=0.0)
+    X, _ = _generate(spec, num_rows, seed)
+    return X
+
+
+def mixed_rows(
+    spec: DatasetSpec | str,
+    num_rows: int,
+    prototype_fraction: float,
+    seed: int = 10_000,
+) -> np.ndarray:
+    """An inference batch with an explicit heavy-hitter share.
+
+    Used by the microarchitecture experiment: a moderate prototype share
+    keeps branches realistically biased (predictable hot paths) while the
+    diffuse remainder provides the path diversity that pressures caches.
+    """
+    if isinstance(spec, str):
+        spec = get_benchmark(spec)
+    spec = replace(spec, prototype_fraction=prototype_fraction)
+    X, _ = _generate(spec, num_rows, seed)
+    return X

@@ -1,0 +1,185 @@
+"""Synthetic feature/target generators with controllable leaf bias.
+
+Leaf bias (Section III-B2) emerges from how training rows distribute over a
+tree's leaves. Feature distribution drives this directly:
+
+* ``"onehot"`` features are rare binary indicators — almost every split
+  sends the overwhelming majority of rows one way (airline-ohe-like);
+* ``"skewed"`` features are lognormal (abalone-like);
+* ``"normal"``/``"uniform"`` features split near the median — balanced
+  leaf populations (epsilon/year-like, unbiased).
+
+On top of the marginal distributions, the *prototype* mechanism reproduces
+the row concentration of real logs (recurring categorical combinations,
+repeated flight routes, ...): a fraction of the probability mass collapses
+onto a handful of Zipf-weighted prototype rows. Rows sharing a prototype's
+values are identical on the prototype columns, so any tree keeps them
+together wherever it splits on those columns, concentrating mass into few
+leaves. The fraction of trees that end up leaf-biased is tuned by
+``prototype_feature_fraction`` (prototype rows still differ on the loose
+columns) together with per-tree column subsampling at training time.
+
+Two output modes are provided. The *sampled* mode materializes every
+logical row physically (inference batches drawn from the true heavy
+distribution). The *weighted* mode emits each prototype as a small cluster
+of rows carrying large sample weights — mathematically equivalent to the
+sampled mode for histogram training, at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+FEATURE_KINDS = ("normal", "uniform", "onehot", "skewed", "mixed")
+
+#: physical rows materialized per prototype cluster in weighted mode
+ROWS_PER_PROTOTYPE = 24
+
+
+def _features(kind: str, rows: int, cols: int, rng: np.random.Generator) -> np.ndarray:
+    if kind == "normal":
+        return rng.normal(size=(rows, cols))
+    if kind == "uniform":
+        return rng.uniform(-1, 1, size=(rows, cols))
+    if kind == "onehot":
+        # Rare indicators with per-column activation rates in [0.5%, 8%].
+        rates = rng.uniform(0.005, 0.08, size=cols)
+        return (rng.uniform(size=(rows, cols)) < rates).astype(np.float64)
+    if kind == "skewed":
+        return rng.lognormal(mean=0.0, sigma=1.2, size=(rows, cols))
+    if kind == "mixed":
+        half = cols // 2
+        left = _features("skewed", rows, half, rng)
+        right = _features("normal", rows, cols - half, rng)
+        return np.concatenate([left, right], axis=1)
+    raise ModelError(f"unknown feature kind {kind!r}; expected one of {FEATURE_KINDS}")
+
+
+def _latent(X: np.ndarray, rng: np.random.Generator, active: int) -> np.ndarray:
+    """A nonlinear latent score over a random subset of features."""
+    cols = X.shape[1]
+    active = min(active, cols)
+    idx = rng.choice(cols, size=active, replace=False)
+    weights = rng.normal(size=active)
+    score = X[:, idx] @ weights
+    # Add pairwise interactions and a threshold nonlinearity for structure.
+    for a in range(0, active - 1, 2):
+        score += 0.5 * X[:, idx[a]] * X[:, idx[a + 1]]
+    score += 0.75 * np.sin(2.0 * X[:, idx[0]])
+    return score
+
+
+def _zipf_weights(count: int, exponent: float) -> np.ndarray:
+    weights = 1.0 / np.arange(1, count + 1) ** exponent
+    return weights / weights.sum()
+
+
+def _labels(score: np.ndarray, objective: str, num_classes: int,
+            weights: np.ndarray | None) -> np.ndarray:
+    if objective == "regression":
+        return score
+    if objective == "binary:logistic":
+        cut = _weighted_quantile(score, 0.5, weights)
+        return (score > cut).astype(np.float64)
+    if objective == "multiclass":
+        if num_classes < 2:
+            raise ModelError("multiclass needs num_classes >= 2")
+        qs = [
+            _weighted_quantile(score, q, weights)
+            for q in np.linspace(0, 1, num_classes + 1)[1:-1]
+        ]
+        return np.digitize(score, qs).astype(np.float64)
+    raise ModelError(f"unknown objective {objective!r}")
+
+
+def _weighted_quantile(values: np.ndarray, q: float, weights: np.ndarray | None) -> float:
+    if weights is None:
+        return float(np.quantile(values, q))
+    order = np.argsort(values)
+    cum = np.cumsum(weights[order])
+    cut = q * cum[-1]
+    return float(values[order][np.searchsorted(cum, cut)])
+
+
+def generate_dataset(
+    num_rows: int,
+    num_features: int,
+    objective: str = "regression",
+    num_classes: int = 1,
+    feature_kind: str = "normal",
+    noise: float = 0.1,
+    active_features: int = 8,
+    prototype_fraction: float = 0.0,
+    prototype_count: int = 10,
+    prototype_feature_fraction: float = 1.0,
+    prototype_zipf: float = 1.3,
+    weighted: bool = False,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray] | tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate a synthetic benchmark dataset.
+
+    Returns ``(X, y)`` in sampled mode, or ``(X, y, sample_weight)`` when
+    ``weighted=True``. ``y`` is continuous for regression, {0,1} for binary
+    classification, and integer class ids for multiclass.
+
+    In sampled mode ``num_rows`` physical rows are drawn from the mixture
+    (``prototype_fraction`` of them landing on Zipf-weighted prototypes).
+    In weighted mode the same logical distribution is represented by
+    ``num_rows`` diffuse unit-weight rows plus ``prototype_count`` small
+    clusters of heavily weighted rows.
+    """
+    if num_rows < 1 or num_features < 1:
+        raise ModelError("num_rows and num_features must be positive")
+    if not (0.0 <= prototype_fraction < 1.0):
+        raise ModelError("prototype_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    use_protos = prototype_fraction > 0.0
+
+    if not use_protos:
+        X = _features(feature_kind, num_rows, num_features, rng)
+        weights = None
+    elif not weighted:
+        X = _features(feature_kind, num_rows, num_features, rng)
+        protos = _features(feature_kind, prototype_count, num_features, rng)
+        n_proto_rows = int(round(prototype_fraction * num_rows))
+        rows_idx = rng.choice(num_rows, size=n_proto_rows, replace=False)
+        n_cols = max(1, int(round(prototype_feature_fraction * num_features)))
+        cols_idx = rng.choice(num_features, size=n_cols, replace=False)
+        assign = rng.choice(
+            prototype_count, size=n_proto_rows, p=_zipf_weights(prototype_count, prototype_zipf)
+        )
+        X[np.ix_(rows_idx, cols_idx)] = protos[np.ix_(assign, cols_idx)]
+        weights = None
+    else:
+        # Weighted mode: diffuse rows carry weight 1; each prototype is a
+        # small physical cluster whose total weight realizes the Zipf mass.
+        diffuse = _features(feature_kind, num_rows, num_features, rng)
+        protos = _features(feature_kind, prototype_count, num_features, rng)
+        n_cols = max(1, int(round(prototype_feature_fraction * num_features)))
+        cols_idx = rng.choice(num_features, size=n_cols, replace=False)
+        cluster = _features(
+            feature_kind, prototype_count * ROWS_PER_PROTOTYPE, num_features, rng
+        )
+        assign = np.repeat(np.arange(prototype_count), ROWS_PER_PROTOTYPE)
+        cluster[:, cols_idx] = protos[np.ix_(assign, cols_idx)]
+        X = np.concatenate([diffuse, cluster], axis=0)
+        q = prototype_fraction
+        total_weight = num_rows / (1.0 - q)
+        cluster_mass = q * total_weight * _zipf_weights(prototype_count, prototype_zipf)
+        weights = np.concatenate(
+            [
+                np.ones(num_rows),
+                np.repeat(cluster_mass / ROWS_PER_PROTOTYPE, ROWS_PER_PROTOTYPE),
+            ]
+        )
+
+    score = _latent(X, rng, active_features)
+    score = score + rng.normal(scale=noise * (np.std(score) + 1e-9), size=X.shape[0])
+    y = _labels(score, objective, num_classes, weights)
+    if weighted:
+        if weights is None:
+            weights = np.ones(X.shape[0])
+        return X, y, weights
+    return X, y

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch one base class. Subclasses are grouped by pipeline stage: model
+construction/validation, compilation (per IR level), and runtime execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ModelError(ReproError):
+    """A decision tree or ensemble is structurally invalid."""
+
+
+class ModelParseError(ModelError):
+    """A serialized model (XGBoost JSON, LightGBM text, ...) could not be parsed."""
+
+
+class CompilerError(ReproError):
+    """Base class for errors raised while lowering or optimizing the IR."""
+
+
+class TilingError(CompilerError):
+    """A tiling does not satisfy the validity constraints of Section III-B1."""
+
+
+class LoweringError(CompilerError):
+    """An IR operation could not be lowered to the next abstraction level."""
+
+
+class LayoutError(CompilerError):
+    """A tiled tree could not be materialized into an in-memory layout."""
+
+
+class CodegenError(CompilerError):
+    """Generated source failed to compile or validate."""
+
+
+class ScheduleError(CompilerError):
+    """A compiler schedule (optimization configuration) is inconsistent."""
+
+
+class ExecutionError(ReproError):
+    """A compiled predictor failed at inference time."""

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning structured rows plus
+a ``main()`` CLI that prints the table the paper reports. See DESIGN.md for
+the experiment index and EXPERIMENTS.md for measured-vs-paper results.
+
+Scale control: models are trained at a fraction of the Table-I tree counts
+(``REPRO_SCALE`` env var or the ``scale`` argument; default 0.1 for the
+>=800-tree models and 0.3 for the rest) because full-size CPython training
+and per-row baselines are slow on small hosts. Scaling tree count leaves the
+per-tree structure (depth, leaf bias) intact, so relative results are
+preserved; the scale used is recorded in every result.
+"""
+
+from repro.experiments.harness import (
+    BASELINE_SAMPLE_ROWS,
+    ExperimentConfig,
+    benchmark_model,
+    default_scale,
+    time_per_row,
+)
+
+__all__ = [
+    "BASELINE_SAMPLE_ROWS",
+    "ExperimentConfig",
+    "benchmark_model",
+    "default_scale",
+    "time_per_row",
+]

@@ -1,0 +1,75 @@
+"""Figure 10: single-core comparison with Hummingbird.
+
+Per benchmark at batch 1024: per-row inference time of the Hummingbird-style
+GEMM predictor, XGBoost-v0.9-style (one row at a time), XGBoost-v1.5-style
+(one tree at a time) and Treebeard, normalized to Hummingbird (lower is
+better) — reproducing the paper's finding that v1.5's loop order erased
+Hummingbird's advantage and Treebeard extends the gap.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    HummingbirdGEMMPredictor,
+    XGBoostV09Predictor,
+    XGBoostV15Predictor,
+)
+from repro.datasets.registry import BENCHMARKS
+from repro.experiments.harness import (
+    BASELINE_SAMPLE_ROWS,
+    ExperimentConfig,
+    benchmark_model,
+    time_per_row,
+)
+from repro.experiments.speedups import tuned_predictor
+from repro.reporting import format_table, geomean
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    names: list[str] | None = None,
+    tune: bool = True,
+) -> list[dict]:
+    """Figure-10 rows: normalized per-row times (HB = 1.0)."""
+    config = config or ExperimentConfig()
+    out = []
+    for name in names or list(BENCHMARKS):
+        forest, rows, scale = benchmark_model(name, config)
+        hb = HummingbirdGEMMPredictor(forest)
+        v09 = XGBoostV09Predictor(forest)
+        v15 = XGBoostV15Predictor(forest)
+        hb_us = time_per_row(hb.raw_predict, rows, repeats=config.repeats)
+        v09_us = time_per_row(
+            v09.raw_predict, rows, repeats=config.repeats, sample=BASELINE_SAMPLE_ROWS
+        )
+        v15_us = time_per_row(v15.raw_predict, rows, repeats=config.repeats)
+        _, tb_us, _ = tuned_predictor(forest, rows, config, tune=tune)
+        out.append(
+            {
+                "dataset": name,
+                "scale": scale,
+                "hummingbird us/row": round(hb_us, 2),
+                "xgb-v0.9 (norm)": round(v09_us / hb_us, 2),
+                "xgb-v1.5 (norm)": round(v15_us / hb_us, 2),
+                "treebeard (norm)": round(tb_us / hb_us, 3),
+                "treebeard speedup vs HB": round(hb_us / tb_us, 2),
+            }
+        )
+    out.append(
+        {
+            "dataset": "GEOMEAN",
+            "treebeard speedup vs HB": round(
+                geomean(r["treebeard speedup vs HB"] for r in out), 2
+            ),
+        }
+    )
+    return out
+
+
+def main() -> None:
+    print("Figure 10: per-row time normalized to Hummingbird (lower is better)")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Figure 12: geomean speedup of optimized code over the scalar baseline,
+across batch sizes (the paper shows the gains hold at every batch size)."""
+
+from __future__ import annotations
+
+from repro.datasets.registry import fresh_rows
+from repro.experiments.harness import ExperimentConfig, benchmark_model
+from repro.experiments.speedups import scalar_baseline_us, tuned_predictor
+from repro.reporting import format_table, geomean
+
+BATCH_SIZES = (64, 256, 1024, 4096)
+DEFAULT_NAMES = ("abalone", "airline", "higgs", "year", "letter")
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    names: tuple[str, ...] = DEFAULT_NAMES,
+    batch_sizes: tuple[int, ...] = BATCH_SIZES,
+    tune: bool = False,
+) -> list[dict]:
+    """One row per batch size: geomean optimized-vs-scalar speedup."""
+    config = config or ExperimentConfig()
+    speedups: dict[int, list[float]] = {b: [] for b in batch_sizes}
+    for name in names:
+        forest, rows1024, _ = benchmark_model(name, config)
+        base_us = scalar_baseline_us(forest, rows1024, repeats=config.repeats)
+        for batch in batch_sizes:
+            rows = fresh_rows(name, batch, seed=config.seed + batch)
+            _, tb_us, _ = tuned_predictor(forest, rows, config, tune=tune)
+            speedups[batch].append(base_us / tb_us)
+    return [
+        {"batch size": b, "geomean speedup over scalar": round(geomean(v), 2)}
+        for b, v in speedups.items()
+    ]
+
+
+def main() -> None:
+    print("Figure 12: geomean speedup of optimized code over scalar baseline by batch")
+    print(f"(benchmarks: {', '.join(DEFAULT_NAMES)})")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Figure 9: geomean speedup over XGBoost/Treelite across batch sizes."""
+
+from __future__ import annotations
+
+from repro.baselines import TreelitePredictor, XGBoostV15Predictor
+from repro.datasets.registry import fresh_rows
+from repro.experiments.harness import (
+    BASELINE_SAMPLE_ROWS,
+    ExperimentConfig,
+    benchmark_model,
+    time_per_row,
+)
+from repro.experiments.speedups import tuned_predictor
+from repro.reporting import format_table, geomean
+
+BATCH_SIZES = (64, 256, 1024, 4096)
+#: a representative subset keeps the sweep affordable; override via names=
+DEFAULT_NAMES = ("abalone", "airline", "higgs", "year", "letter")
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    names: tuple[str, ...] = DEFAULT_NAMES,
+    batch_sizes: tuple[int, ...] = BATCH_SIZES,
+    tune: bool = False,
+) -> list[dict]:
+    """One row per batch size: geomean speedups across benchmarks."""
+    config = config or ExperimentConfig()
+    per_batch: dict[int, dict[str, list[float]]] = {
+        b: {"xgb": [], "treelite": []} for b in batch_sizes
+    }
+    for name in names:
+        forest, _, _ = benchmark_model(name, config)
+        xgb = XGBoostV15Predictor(forest)
+        treelite = TreelitePredictor(forest)
+        for batch in batch_sizes:
+            rows = fresh_rows(name, batch, seed=config.seed + batch)
+            _, tb_us, _ = tuned_predictor(forest, rows, config, tune=tune)
+            xgb_us = time_per_row(xgb.raw_predict, rows, repeats=config.repeats)
+            tl_us = time_per_row(
+                treelite.raw_predict, rows, repeats=config.repeats,
+                sample=BASELINE_SAMPLE_ROWS,
+            )
+            per_batch[batch]["xgb"].append(xgb_us / tb_us)
+            per_batch[batch]["treelite"].append(tl_us / tb_us)
+    return [
+        {
+            "batch size": batch,
+            "geomean speedup vs xgboost": round(geomean(vals["xgb"]), 2),
+            "geomean speedup vs treelite": round(geomean(vals["treelite"]), 1),
+        }
+        for batch, vals in per_batch.items()
+    ]
+
+
+def main() -> None:
+    print("Figure 9: geomean single-core speedup over XGBoost/Treelite by batch size")
+    print(f"(benchmarks: {', '.join(DEFAULT_NAMES)})")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Section V-B2: memory footprint of the in-memory representations.
+
+Per benchmark at tile size 8: array-layout bytes relative to the scalar
+(tile size 1) representation, sparse-layout compression relative to array,
+and sparse overhead relative to scalar. The paper reports ~8x array bloat,
+sparse ~6.8x smaller than array (geomean), and ~16% over scalar.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import BENCHMARKS
+from repro.experiments.harness import ExperimentConfig, benchmark_model
+from repro.lir.memory import model_memory_report
+from repro.reporting import format_table, geomean
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    names: list[str] | None = None,
+    tile_size: int = 8,
+) -> list[dict]:
+    """One row per benchmark: representation sizes and ratios."""
+    config = config or ExperimentConfig()
+    out = []
+    for name in names or list(BENCHMARKS):
+        forest, _, scale = benchmark_model(name, config)
+        report = model_memory_report(forest, tile_size=tile_size)
+        out.append(
+            {
+                "dataset": name,
+                "scale": scale,
+                "scalar KB": round(report.scalar_bytes / 1024, 1),
+                "array KB": round(report.array_bytes / 1024, 1),
+                "sparse KB": round(report.sparse_bytes / 1024, 1),
+                "array/scalar": round(report.array_bloat, 1),
+                "array/sparse": round(report.sparse_vs_array, 1),
+                "sparse/scalar": round(report.sparse_overhead, 2),
+            }
+        )
+    out.append(
+        {
+            "dataset": "GEOMEAN",
+            "array/scalar": round(geomean(r["array/scalar"] for r in out), 1),
+            "array/sparse": round(geomean(r["array/sparse"] for r in out), 1),
+            "sparse/scalar": round(geomean(r["sparse/scalar"] for r in out), 2),
+        }
+    )
+    return out
+
+
+def main() -> None:
+    print("Section V-B2: memory footprint of tiled-tree representations (tile size 8)")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

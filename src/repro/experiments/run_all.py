@@ -1,0 +1,57 @@
+"""Run every experiment and print every table/figure of the evaluation.
+
+``python -m repro.experiments.run_all`` regenerates the full evaluation;
+expect tens of minutes on first run (models are trained and cached), far
+less afterwards. Individual experiments are runnable as modules too
+(``python -m repro.experiments.fig8``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import (  # noqa: F401  (imported for registration order)
+    ablations,
+    fig3,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    memory_footprint,
+    microarch,
+    table1,
+    table2,
+    tiling_quality,
+)
+
+EXPERIMENTS = (
+    ("Table I", table1.main),
+    ("Table II", table2.main),
+    ("Figure 3", fig3.main),
+    ("Figure 7", fig7.main),
+    ("Figure 8", fig8.main),
+    ("Figure 9", fig9.main),
+    ("Figure 10", fig10.main),
+    ("Figure 11", fig11.main),
+    ("Figure 12", fig12.main),
+    ("Figure 13", fig13.main),
+    ("Memory footprint (V-B2)", memory_footprint.main),
+    ("Microarchitecture (VI-E)", microarch.main),
+    ("Ablations (extension)", ablations.main),
+    ("Tiling quality (extension)", tiling_quality.main),
+)
+
+
+def main() -> None:
+    for title, fn in EXPERIMENTS:
+        start = time.time()
+        print("=" * 78)
+        fn()
+        print(f"[{title} done in {time.time() - start:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

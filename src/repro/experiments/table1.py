@@ -1,0 +1,49 @@
+"""Table I: benchmark datasets and their parameters.
+
+Reports, per benchmark: #features, #trees (at the run's scale), max depth,
+and the number of leaf-biased trees at ⟨alpha=0.075, beta=0.9⟩, side by side
+with the paper's values (the leaf-biased column is compared as a *fraction*
+of trees, since models are scaled).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import BENCHMARKS
+from repro.experiments.harness import ExperimentConfig, benchmark_model
+from repro.forest.statistics import count_leaf_biased
+from repro.reporting import format_table
+
+ALPHA, BETA = 0.075, 0.9
+
+
+def run(config: ExperimentConfig | None = None, names: list[str] | None = None) -> list[dict]:
+    """Compute the Table-I rows; returns one dict per benchmark."""
+    config = config or ExperimentConfig()
+    rows = []
+    for name in names or list(BENCHMARKS):
+        spec = BENCHMARKS[name]
+        forest, _, scale = benchmark_model(name, config)
+        biased = count_leaf_biased(forest, ALPHA, BETA)
+        rows.append(
+            {
+                "dataset": name,
+                "#features": spec.num_features,
+                "#trees": forest.num_trees,
+                "max depth": forest.max_depth,
+                "#leaf-biased": biased,
+                "leaf-biased frac": round(biased / forest.num_trees, 2),
+                "paper frac": round(spec.paper_leaf_biased / spec.num_trees, 2),
+                "scale": scale,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print("Table I: benchmark datasets and their parameters "
+          f"(leaf-biased at alpha={ALPHA}, beta={BETA})")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Tiling quality (extension): greedy algorithms vs the DP optimum.
+
+Section III-C notes the expected-walk-length objective "can be solved
+optimally using dynamic programming" but adopts a greedy algorithm "in the
+interest of simplicity". This experiment quantifies what that simplicity
+costs: the model-wide expected number of tile evaluations per walk under
+basic tiling (Algorithm 2), greedy probability-based tiling (Algorithm 1),
+and the optimal DP tiling, plus compile times.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.harness import ExperimentConfig, benchmark_model
+from repro.hir.tiling import basic_tiling, optimal_tiling, probability_tiling, tiling_objective
+from repro.reporting import format_table
+
+TILE_SIZE = 8
+DEFAULT_NAMES = ("abalone", "airline", "airline-ohe", "higgs", "year")
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    names: tuple[str, ...] = DEFAULT_NAMES,
+    tile_size: int = TILE_SIZE,
+) -> list[dict]:
+    """One row per benchmark: expected walk length per tiling algorithm."""
+    config = config or ExperimentConfig()
+    out = []
+    for name in names:
+        forest, _, scale = benchmark_model(name, config)
+        totals = {"basic": 0.0, "greedy prob.": 0.0, "optimal": 0.0}
+        times = {"greedy prob.": 0.0, "optimal": 0.0}
+        for tree in forest.trees:
+            totals["basic"] += tiling_objective(
+                tree, basic_tiling(tree, tile_size), tile_size
+            )
+            start = time.perf_counter()
+            greedy = probability_tiling(tree, tile_size)
+            times["greedy prob."] += time.perf_counter() - start
+            totals["greedy prob."] += tiling_objective(tree, greedy, tile_size)
+            start = time.perf_counter()
+            optimal = optimal_tiling(tree, tile_size)
+            times["optimal"] += time.perf_counter() - start
+            totals["optimal"] += tiling_objective(tree, optimal, tile_size)
+        n = forest.num_trees
+        out.append(
+            {
+                "dataset": name,
+                "scale": scale,
+                "basic E[tiles/walk]": round(totals["basic"] / n, 3),
+                "greedy E[tiles/walk]": round(totals["greedy prob."] / n, 3),
+                "optimal E[tiles/walk]": round(totals["optimal"] / n, 3),
+                "greedy gap": round(
+                    totals["greedy prob."] / max(totals["optimal"], 1e-12), 3
+                ),
+                "greedy tiling s": round(times["greedy prob."], 2),
+                "optimal tiling s": round(times["optimal"], 2),
+            }
+        )
+    return out
+
+
+def main() -> None:
+    print("Tiling quality (extension): expected tile evaluations per walk,")
+    print(f"tile size {TILE_SIZE}; 'greedy gap' = greedy / optimal objective")
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Decision-tree ensemble data model.
+
+This subpackage is the substrate every compiler stage consumes: an explicit,
+array-backed representation of binary decision trees (:class:`DecisionTree`),
+ensembles of them (:class:`Forest`), builders, loaders for common serialized
+formats, and the leaf-probability statistics that drive probability-based
+tiling (Section III-C of the paper).
+
+The canonical node predicate is ``x[feature] < threshold``: when true the walk
+moves to the *left* child, otherwise to the *right* child, matching the
+paper's convention (footnote 1).
+"""
+
+from repro.forest.builder import TreeBuilder
+from repro.forest.ensemble import Forest
+from repro.forest.io_lightgbm import parse_lightgbm_text
+from repro.forest.io_sklearn import forest_from_arrays
+from repro.forest.io_xgboost import forest_from_xgboost_json, forest_to_xgboost_json
+from repro.forest.statistics import (
+    CoverageProfile,
+    coverage_profile,
+    is_leaf_biased,
+    leaf_bias_fractions,
+    populate_node_probabilities,
+)
+from repro.forest.tree import LEAF, NO_NODE, DecisionTree
+
+__all__ = [
+    "LEAF",
+    "NO_NODE",
+    "CoverageProfile",
+    "DecisionTree",
+    "Forest",
+    "TreeBuilder",
+    "coverage_profile",
+    "forest_from_arrays",
+    "forest_from_xgboost_json",
+    "forest_to_xgboost_json",
+    "is_leaf_biased",
+    "leaf_bias_fractions",
+    "parse_lightgbm_text",
+    "populate_node_probabilities",
+]

@@ -1,0 +1,139 @@
+"""Incremental construction of :class:`~repro.forest.tree.DecisionTree`.
+
+The builder allocates node ids in creation order and materializes the parallel
+arrays once :meth:`TreeBuilder.build` is called. It supports both top-down
+construction (create the root first, then attach children) and construction
+from a nested-dict description, which is convenient in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.forest.tree import LEAF, NO_NODE, DecisionTree
+
+
+class TreeBuilder:
+    """Builds a :class:`DecisionTree` node by node.
+
+    Example
+    -------
+    >>> b = TreeBuilder()
+    >>> root = b.internal(feature=0, threshold=0.5)
+    >>> _ = b.leaf(value=1.0, parent=root, side="left")
+    >>> _ = b.leaf(value=2.0, parent=root, side="right")
+    >>> tree = b.build()
+    >>> tree.num_nodes
+    3
+    """
+
+    def __init__(self) -> None:
+        self._feature: list[int] = []
+        self._threshold: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._value: list[float] = []
+        self._probability: list[float] = []
+        self._has_probability = False
+
+    def _new_node(
+        self, feature: int, threshold: float, value: float, probability: float | None
+    ) -> int:
+        node = len(self._feature)
+        self._feature.append(feature)
+        self._threshold.append(threshold)
+        self._left.append(NO_NODE)
+        self._right.append(NO_NODE)
+        self._value.append(value)
+        if probability is not None:
+            self._has_probability = True
+        self._probability.append(probability if probability is not None else 0.0)
+        return node
+
+    def _attach(self, node: int, parent: int | None, side: str | None) -> None:
+        if parent is None:
+            if node != 0:
+                raise ModelError("only the first node may omit a parent")
+            return
+        if side not in ("left", "right"):
+            raise ModelError(f"side must be 'left' or 'right', got {side!r}")
+        slot = self._left if side == "left" else self._right
+        if slot[parent] != NO_NODE:
+            raise ModelError(f"{side} child of node {parent} already set")
+        slot[parent] = node
+
+    def internal(
+        self,
+        feature: int,
+        threshold: float,
+        parent: int | None = None,
+        side: str | None = None,
+        probability: float | None = None,
+    ) -> int:
+        """Add an internal node; returns its id."""
+        node = self._new_node(int(feature), float(threshold), 0.0, probability)
+        self._attach(node, parent, side)
+        return node
+
+    def leaf(
+        self,
+        value: float,
+        parent: int | None = None,
+        side: str | None = None,
+        probability: float | None = None,
+    ) -> int:
+        """Add a leaf node; returns its id."""
+        node = self._new_node(LEAF, 0.0, float(value), probability)
+        self._attach(node, parent, side)
+        return node
+
+    def build(self, class_id: int = 0, tree_id: int = 0) -> DecisionTree:
+        """Materialize the tree. Raises :class:`ModelError` if incomplete."""
+        for node, (left, right) in enumerate(zip(self._left, self._right)):
+            internal = self._feature[node] != LEAF
+            if internal and (left == NO_NODE or right == NO_NODE):
+                raise ModelError(f"internal node {node} is missing a child")
+            if not internal and (left != NO_NODE or right != NO_NODE):
+                raise ModelError(f"leaf node {node} has children")
+        return DecisionTree(
+            feature=np.asarray(self._feature),
+            threshold=np.asarray(self._threshold),
+            left=np.asarray(self._left),
+            right=np.asarray(self._right),
+            value=np.asarray(self._value),
+            node_probability=(
+                np.asarray(self._probability) if self._has_probability else None
+            ),
+            class_id=class_id,
+            tree_id=tree_id,
+        )
+
+    @classmethod
+    def from_nested(cls, spec: dict[str, Any], class_id: int = 0, tree_id: int = 0) -> DecisionTree:
+        """Build from a nested-dict spec.
+
+        Internal nodes are ``{"feature": i, "threshold": t, "left": ..., "right": ...}``
+        and leaves are ``{"value": v}``. Either kind may carry ``"probability"``.
+        """
+        builder = cls()
+
+        def emit(node_spec: dict[str, Any], parent: int | None, side: str | None) -> None:
+            prob = node_spec.get("probability")
+            if "value" in node_spec:
+                builder.leaf(node_spec["value"], parent=parent, side=side, probability=prob)
+                return
+            node = builder.internal(
+                node_spec["feature"],
+                node_spec["threshold"],
+                parent=parent,
+                side=side,
+                probability=prob,
+            )
+            emit(node_spec["left"], node, "left")
+            emit(node_spec["right"], node, "right")
+
+        emit(spec, None, None)
+        return builder.build(class_id=class_id, tree_id=tree_id)

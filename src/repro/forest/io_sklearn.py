@@ -1,0 +1,113 @@
+"""Import forests from scikit-learn style arrays.
+
+scikit-learn exposes fitted trees through parallel arrays
+(``children_left``, ``children_right``, ``feature``, ``threshold``,
+``value``), using the predicate ``x[feature] <= threshold`` for the left
+branch. Our canonical predicate is strict (``x < t``); imported thresholds
+are nudged to the next representable float so the two predicates agree on
+every representable input.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ModelParseError
+from repro.forest.ensemble import Forest
+from repro.forest.tree import LEAF, NO_NODE, DecisionTree
+
+
+def tree_from_arrays(
+    children_left: np.ndarray,
+    children_right: np.ndarray,
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    value: np.ndarray,
+    inclusive_threshold: bool = True,
+    class_id: int = 0,
+    tree_id: int = 0,
+) -> DecisionTree:
+    """Build a :class:`DecisionTree` from sklearn-style parallel arrays.
+
+    Parameters
+    ----------
+    children_left, children_right:
+        Child ids; sklearn uses -1 for leaves (same as our sentinel).
+    feature, threshold:
+        Split parameters; ``feature`` is ignored at leaves.
+    value:
+        Leaf predictions. sklearn stores shape ``(n_nodes, 1, 1)`` for
+        regressors; any array squeezable to 1-D per node is accepted.
+    inclusive_threshold:
+        When True (sklearn semantics, ``x <= t`` goes left), thresholds are
+        converted to the strict form used throughout this library by taking
+        ``nextafter(t, +inf)``.
+    """
+    children_left = np.asarray(children_left, dtype=np.int64)
+    children_right = np.asarray(children_right, dtype=np.int64)
+    feature = np.asarray(feature, dtype=np.int64).copy()
+    threshold = np.asarray(threshold, dtype=np.float64).copy()
+    value = np.asarray(value, dtype=np.float64)
+    value = value.reshape(value.shape[0], -1)[:, 0].copy()
+    n = children_left.shape[0]
+    if any(a.shape[0] != n for a in (children_right, feature, threshold, value)):
+        raise ModelParseError("sklearn arrays have inconsistent lengths")
+    is_leaf = children_left == NO_NODE
+    feature[is_leaf] = LEAF
+    value[~is_leaf] = 0.0
+    if inclusive_threshold:
+        internal = ~is_leaf
+        threshold[internal] = np.nextafter(threshold[internal], np.inf)
+    if 0 < n and is_leaf[0] and n > 1:
+        raise ModelParseError("root marked as leaf but tree has multiple nodes")
+    return DecisionTree(
+        feature=feature,
+        threshold=threshold,
+        left=children_left,
+        right=children_right,
+        value=value,
+        class_id=class_id,
+        tree_id=tree_id,
+    )
+
+
+def forest_from_arrays(
+    trees: Sequence[dict[str, np.ndarray]],
+    num_features: int,
+    objective: str = "regression",
+    base_score: float = 0.0,
+    num_classes: int = 1,
+    inclusive_threshold: bool = True,
+    scale: float | None = None,
+) -> Forest:
+    """Build a :class:`Forest` from a sequence of sklearn-style array dicts.
+
+    Each element must provide the keys accepted by :func:`tree_from_arrays`.
+    ``scale`` (e.g. ``1 / n_estimators`` for a RandomForestRegressor that
+    averages its members) multiplies every leaf value.
+    """
+    built = []
+    for i, spec in enumerate(trees):
+        class_id = spec.get("class_id", i % num_classes if num_classes > 1 else 0)
+        tree = tree_from_arrays(
+            spec["children_left"],
+            spec["children_right"],
+            spec["feature"],
+            spec["threshold"],
+            spec["value"],
+            inclusive_threshold=inclusive_threshold,
+            class_id=int(class_id),
+            tree_id=i,
+        )
+        if scale is not None:
+            tree.value = tree.value * scale
+        built.append(tree)
+    return Forest(
+        built,
+        num_features=num_features,
+        objective=objective,
+        base_score=base_score,
+        num_classes=num_classes,
+    )

@@ -1,0 +1,148 @@
+"""Loader/saver for the XGBoost JSON *dump* format.
+
+``xgboost.Booster.get_dump(dump_format="json")`` produces one JSON document
+per tree, each a nested object with keys ``nodeid``, ``split`` (feature name
+``f<idx>`` or bare index), ``split_condition`` (threshold), ``yes``/``no``
+(child node ids; XGBoost routes ``x < t`` to ``yes``) and ``children``; leaves
+have ``leaf``. This module converts between that format and :class:`Forest`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ModelParseError
+from repro.forest.ensemble import Forest
+from repro.forest.tree import LEAF, NO_NODE, DecisionTree
+
+
+def _feature_index(split: Any) -> int:
+    """Parse an XGBoost split identifier (``"f12"``, ``"12"`` or ``12``)."""
+    if isinstance(split, int):
+        return split
+    text = str(split)
+    if text.startswith("f"):
+        text = text[1:]
+    try:
+        return int(text)
+    except ValueError as exc:
+        raise ModelParseError(f"cannot parse feature index from split {split!r}") from exc
+
+
+def tree_from_xgboost_dict(spec: dict[str, Any], class_id: int = 0, tree_id: int = 0) -> DecisionTree:
+    """Convert one XGBoost dump tree (nested dict) into a :class:`DecisionTree`.
+
+    Node ids are re-numbered into pre-order; XGBoost's own ``nodeid`` values
+    are not preserved (they are only meaningful within the dump).
+    """
+    feature: list[int] = []
+    threshold: list[float] = []
+    left: list[int] = []
+    right: list[int] = []
+    value: list[float] = []
+
+    def emit(node: dict[str, Any]) -> int:
+        my_id = len(feature)
+        if "leaf" in node:
+            feature.append(LEAF)
+            threshold.append(0.0)
+            left.append(NO_NODE)
+            right.append(NO_NODE)
+            value.append(float(node["leaf"]))
+            return my_id
+        try:
+            fidx = _feature_index(node["split"])
+            thresh = float(node["split_condition"])
+            children = {child["nodeid"]: child for child in node["children"]}
+            yes_child = children[node["yes"]]
+            no_child = children[node["no"]]
+        except (KeyError, TypeError) as exc:
+            raise ModelParseError(f"malformed XGBoost node: {node!r}") from exc
+        feature.append(fidx)
+        threshold.append(thresh)
+        left.append(NO_NODE)
+        right.append(NO_NODE)
+        value.append(0.0)
+        # XGBoost: x < t goes to "yes"; our convention: x < t goes left.
+        left[my_id] = emit(yes_child)
+        right[my_id] = emit(no_child)
+        return my_id
+
+    emit(spec)
+    return DecisionTree(
+        feature=np.asarray(feature),
+        threshold=np.asarray(threshold),
+        left=np.asarray(left),
+        right=np.asarray(right),
+        value=np.asarray(value),
+        class_id=class_id,
+        tree_id=tree_id,
+    )
+
+
+def forest_from_xgboost_json(
+    dumps: list[str] | list[dict[str, Any]] | str,
+    num_features: int,
+    objective: str = "regression",
+    base_score: float = 0.0,
+    num_classes: int = 1,
+) -> Forest:
+    """Build a :class:`Forest` from XGBoost JSON tree dumps.
+
+    Parameters
+    ----------
+    dumps:
+        A list of JSON strings (one per tree, as returned by ``get_dump``),
+        a list of already-parsed dicts, or a single JSON string encoding a
+        list of trees.
+    num_features, objective, base_score, num_classes:
+        Ensemble metadata (the dump format does not carry it). For
+        multiclass models trees are assigned classes round-robin
+        (``tree i -> class i % num_classes``), which is XGBoost's layout.
+    """
+    if isinstance(dumps, str):
+        try:
+            dumps = json.loads(dumps)
+        except json.JSONDecodeError as exc:
+            raise ModelParseError(f"invalid JSON: {exc}") from exc
+    if not isinstance(dumps, list) or not dumps:
+        raise ModelParseError("expected a non-empty list of tree dumps")
+    trees = []
+    for i, item in enumerate(dumps):
+        if isinstance(item, str):
+            try:
+                item = json.loads(item)
+            except json.JSONDecodeError as exc:
+                raise ModelParseError(f"tree {i}: invalid JSON: {exc}") from exc
+        class_id = i % num_classes if num_classes > 1 else 0
+        trees.append(tree_from_xgboost_dict(item, class_id=class_id, tree_id=i))
+    return Forest(
+        trees,
+        num_features=num_features,
+        objective=objective,
+        base_score=base_score,
+        num_classes=num_classes,
+    )
+
+
+def tree_to_xgboost_dict(tree: DecisionTree, node: int = 0) -> dict[str, Any]:
+    """Convert a :class:`DecisionTree` (sub)tree back to XGBoost dump form."""
+    if tree.is_leaf(node):
+        return {"nodeid": node, "leaf": float(tree.value[node])}
+    left, right = tree.children(node)
+    return {
+        "nodeid": node,
+        "split": f"f{int(tree.feature[node])}",
+        "split_condition": float(tree.threshold[node]),
+        "yes": left,
+        "no": right,
+        "children": [tree_to_xgboost_dict(tree, left), tree_to_xgboost_dict(tree, right)],
+    }
+
+
+def forest_to_xgboost_json(forest: Forest) -> str:
+    """Serialize a forest as a JSON list of XGBoost-dump trees."""
+    return json.dumps([tree_to_xgboost_dict(tree) for tree in forest.trees])

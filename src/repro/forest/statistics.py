@@ -1,0 +1,151 @@
+"""Leaf-probability statistics used by probability-based tiling.
+
+The paper (Section III-B2, Figure 3) observes that in many models a small
+fraction of leaves covers most of the training inputs ("leaf-biased" trees)
+and exploits this with probability-based tiling. This module computes:
+
+* per-node visit probabilities from training data
+  (:func:`populate_node_probabilities`);
+* the fraction of leaves a tree needs to cover a fraction ``beta`` of training
+  rows (:func:`leaf_bias_fractions`) and the leaf-bias test with thresholds
+  ``(alpha, beta)`` (:func:`is_leaf_biased`);
+* the full statistical profile behind Figure 3
+  (:func:`coverage_profile`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.forest.ensemble import Forest
+from repro.forest.tree import DecisionTree
+
+
+def leaf_probabilities(
+    tree: DecisionTree, rows: np.ndarray, weights: np.ndarray | None = None
+) -> np.ndarray:
+    """Empirical probability of reaching each node, estimated from ``rows``.
+
+    Returns a per-node array: for leaves it is the (weighted) fraction of
+    rows that end at that leaf; for internal nodes it is the sum over leaves
+    in the subtree (i.e. the probability a walk passes through the node),
+    matching footnote 6 of the paper.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim != 2 or rows.shape[0] == 0:
+        raise ModelError("rows must be a non-empty 2-D array")
+    hit_leaves = tree.leaves_for_rows(rows)
+    counts = np.bincount(
+        hit_leaves, weights=weights, minlength=tree.num_nodes
+    ).astype(np.float64)
+    total = rows.shape[0] if weights is None else float(np.sum(weights))
+    prob = counts / total
+    # Propagate upward: process nodes in reverse level order so children are
+    # done before parents.
+    order = list(tree.iter_level_order())
+    for node in reversed(order):
+        if not tree.is_leaf(node):
+            prob[node] = prob[tree.left[node]] + prob[tree.right[node]]
+    return prob
+
+
+def populate_node_probabilities(
+    forest: Forest, rows: np.ndarray, weights: np.ndarray | None = None
+) -> None:
+    """Attach empirical node probabilities to every tree of ``forest`` in place."""
+    for tree in forest.trees:
+        tree.node_probability = leaf_probabilities(tree, rows, weights=weights)
+
+
+def uniform_node_probabilities(tree: DecisionTree) -> np.ndarray:
+    """Analytic fallback: probability 2^-depth(n) at each branch (no data needed)."""
+    prob = np.zeros(tree.num_nodes, dtype=np.float64)
+    prob[0] = 1.0
+    for node in tree.iter_preorder():
+        if not tree.is_leaf(node):
+            prob[tree.left[node]] = prob[node] / 2.0
+            prob[tree.right[node]] = prob[node] / 2.0
+    return prob
+
+
+def leaf_fraction_for_coverage(tree: DecisionTree, beta: float) -> float:
+    """Smallest fraction of leaves whose probabilities sum to >= ``beta``.
+
+    Requires ``tree.node_probability`` to be populated.
+    """
+    if tree.node_probability is None:
+        raise ModelError("node probabilities not populated; call populate_node_probabilities")
+    leaves = tree.leaves()
+    probs = np.sort(tree.node_probability[leaves])[::-1]
+    total = probs.cumsum()
+    needed = int(np.searchsorted(total, beta - 1e-12) + 1)
+    needed = min(needed, leaves.size)
+    return needed / leaves.size
+
+
+def leaf_bias_fractions(forest: Forest, beta: float) -> np.ndarray:
+    """Per-tree fraction of leaves needed to cover ``beta`` of training rows."""
+    return np.asarray(
+        [leaf_fraction_for_coverage(tree, beta) for tree in forest.trees], dtype=np.float64
+    )
+
+
+def is_leaf_biased(tree: DecisionTree, alpha: float, beta: float) -> bool:
+    """Leaf-bias test of Section III-C.
+
+    A tree is leaf-biased for thresholds ``(alpha, beta)`` when a fraction
+    ``<= alpha`` of its leaves covers a fraction ``>= beta`` of the training
+    inputs. Probability-based tiling is applied only to such trees.
+    """
+    return leaf_fraction_for_coverage(tree, beta) <= alpha
+
+
+def count_leaf_biased(forest: Forest, alpha: float, beta: float) -> int:
+    """Number of leaf-biased trees in the forest (Table I last column)."""
+    return sum(is_leaf_biased(tree, alpha, beta) for tree in forest.trees)
+
+
+@dataclass(frozen=True)
+class CoverageProfile:
+    """The data behind one line of Figure 3.
+
+    For a coverage target ``f``: ``leaf_fractions[i]`` is an x-coordinate
+    (fraction of leaves) and ``tree_fractions[i]`` the fraction of trees in
+    the model that can cover a fraction ``f`` of all training inputs using at
+    most that fraction of their leaves.
+    """
+
+    coverage: float
+    leaf_fractions: np.ndarray
+    tree_fractions: np.ndarray
+
+
+def coverage_profile(
+    forest: Forest, coverage: float, grid: np.ndarray | None = None
+) -> CoverageProfile:
+    """Compute a Figure-3 line: cumulative distribution of per-tree leaf need.
+
+    Parameters
+    ----------
+    forest:
+        Ensemble with populated node probabilities.
+    coverage:
+        The fraction ``f`` of training inputs to cover (e.g. 0.9).
+    grid:
+        X-axis points (fractions of leaves); defaults to 100 log-spaced points
+        between 0.5% and 100%.
+    """
+    if grid is None:
+        grid = np.logspace(np.log10(0.005), 0.0, 100)
+    needs = leaf_bias_fractions(forest, coverage)
+    tree_fractions = np.asarray(
+        [(needs <= x).mean() for x in grid], dtype=np.float64
+    )
+    return CoverageProfile(
+        coverage=coverage,
+        leaf_fractions=np.asarray(grid, dtype=np.float64),
+        tree_fractions=tree_fractions,
+    )

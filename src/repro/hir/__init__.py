@@ -1,0 +1,36 @@
+"""High-level IR: the model as a set of (tiled) trees.
+
+This level implements the paper's Section III: tree tiling (basic and
+probability-based), tile shapes and their registry, tree padding, and tree
+reordering. The output of this stage — an :class:`HIRModule` holding one
+:class:`TiledTree` per model tree plus scheduling attributes — is lowered to
+the mid-level loop IR by :mod:`repro.hir.lowering`.
+"""
+
+from repro.hir.ir import HIRModule, build_hir
+from repro.hir.padding import pad_to_uniform_depth
+from repro.hir.reorder import TreeGroup, reorder_trees
+from repro.hir.tiling import (
+    ShapeRegistry,
+    Tile,
+    TiledTree,
+    basic_tiling,
+    check_valid_tiling,
+    hybrid_tiling,
+    probability_tiling,
+)
+
+__all__ = [
+    "HIRModule",
+    "ShapeRegistry",
+    "Tile",
+    "TiledTree",
+    "TreeGroup",
+    "basic_tiling",
+    "build_hir",
+    "check_valid_tiling",
+    "hybrid_tiling",
+    "pad_to_uniform_depth",
+    "probability_tiling",
+    "reorder_trees",
+]

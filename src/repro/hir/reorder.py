@@ -1,0 +1,102 @@
+"""Tree reordering: grouping trees that can share traversal code.
+
+Section III-F: generating distinct code per tree bloats the instruction
+footprint, and cross-tree optimizations (walk interleaving) work best when
+jammed walks share code. The compiler therefore groups trees by walk-depth
+compatibility and sorts groups by depth; the loop nest then walks each group
+with one piece of code. Because ensemble predictions are sums, reordering
+trees never changes the result (up to float accumulation order, which the
+backend keeps fixed per group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hir.tiling.tile import TiledTree
+
+
+@dataclass
+class TreeGroup:
+    """A set of trees that share one generated walk kernel.
+
+    Attributes
+    ----------
+    group_id:
+        Position of the group in emission order.
+    tree_indices:
+        Indices into the model's tree list (original ensemble order).
+    depth:
+        Maximum leaf-tile depth across members — the walk-step count for
+        unrolled kernels, and the worst case for loop kernels.
+    uniform:
+        True when every member has all leaves at exactly ``depth`` (after
+        padding); only then may the walk be fully unrolled with no leaf
+        checks.
+    min_leaf_depth:
+        Smallest leaf depth across members; the peeling pass may skip leaf
+        checks for the first ``min_leaf_depth - 1`` steps.
+    """
+
+    group_id: int
+    tree_indices: list[int] = field(default_factory=list)
+    depth: int = 0
+    uniform: bool = False
+    min_leaf_depth: int = 0
+
+    @property
+    def num_trees(self) -> int:
+        return len(self.tree_indices)
+
+
+def _group_stats(tiled_trees: list[TiledTree], indices: list[int], gid: int) -> TreeGroup:
+    members = [tiled_trees[i] for i in indices]
+    depth = max(t.max_leaf_depth for t in members)
+    uniform = all(t.is_uniform_depth and t.max_leaf_depth == depth for t in members)
+    return TreeGroup(
+        group_id=gid,
+        tree_indices=list(indices),
+        depth=depth,
+        uniform=uniform,
+        min_leaf_depth=min(t.min_leaf_depth for t in members),
+    )
+
+
+def reorder_trees(
+    tiled_trees: list[TiledTree], enabled: bool = True, merge: bool = False
+) -> list[TreeGroup]:
+    """Partition trees into code-sharing groups, sorted by walk depth.
+
+    With reordering enabled, trees with equal maximum leaf-tile depth share
+    a group (isomorphic padded trees necessarily land together, so unrolled
+    kernels are shared exactly as in the paper). ``merge=True`` — used when
+    walks stay guarded loops rather than unrolled straight-line code — puts
+    *every* tree into one depth-sorted group: the guarded walk is the same
+    code for any tree, and sorting by depth makes jammed lanes finish
+    together. Disabled, every tree is its own group in original order — the
+    configuration used by the scalar baseline.
+    """
+    if not enabled:
+        return [
+            _group_stats(tiled_trees, [i], gid)
+            for gid, i in enumerate(range(len(tiled_trees)))
+        ]
+    order = sorted(range(len(tiled_trees)), key=lambda i: tiled_trees[i].max_leaf_depth)
+    if merge:
+        # Depth-0 (single-leaf) trees fold into compile-time constants and
+        # must not share buffers with walking trees.
+        trivial = [i for i in order if tiled_trees[i].max_leaf_depth == 0]
+        walking = [i for i in order if tiled_trees[i].max_leaf_depth > 0]
+        groups = []
+        if trivial:
+            groups.append(_group_stats(tiled_trees, trivial, len(groups)))
+        if walking:
+            groups.append(_group_stats(tiled_trees, walking, len(groups)))
+        return groups
+    by_depth: dict[int, list[int]] = {}
+    for i in order:
+        by_depth.setdefault(tiled_trees[i].max_leaf_depth, []).append(i)
+    groups = []
+    for gid, depth in enumerate(sorted(by_depth)):
+        groups.append(_group_stats(tiled_trees, by_depth[depth], gid))
+    return groups

@@ -1,0 +1,38 @@
+"""Tree tiling: transforming binary trees into n-ary trees of tiles.
+
+Implements Section III-B/C/D of the paper: the validity constraints, the
+greedy probability-based algorithm (Algorithm 1), the level-order basic
+algorithm (Algorithm 2), the hybrid policy that applies probability-based
+tiling only to leaf-biased trees, tile-shape canonicalization, and the
+:class:`TiledTree` structure consumed by the rest of the compiler.
+"""
+
+from repro.hir.tiling.basic import basic_tiling
+from repro.hir.tiling.hybrid import hybrid_tiling
+from repro.hir.tiling.optimal import optimal_tiling, tiling_objective
+from repro.hir.tiling.probability import probability_tiling
+from repro.hir.tiling.shapes import (
+    ShapeRegistry,
+    all_shapes_of_size,
+    left_chain_shape,
+    shape_child_for_bits,
+    shape_key_of_tile,
+)
+from repro.hir.tiling.tile import Tile, TiledTree
+from repro.hir.tiling.validity import check_valid_tiling
+
+__all__ = [
+    "ShapeRegistry",
+    "Tile",
+    "TiledTree",
+    "all_shapes_of_size",
+    "basic_tiling",
+    "check_valid_tiling",
+    "hybrid_tiling",
+    "optimal_tiling",
+    "left_chain_shape",
+    "probability_tiling",
+    "shape_child_for_bits",
+    "tiling_objective",
+    "shape_key_of_tile",
+]

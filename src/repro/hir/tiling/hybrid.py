@@ -1,0 +1,27 @@
+"""Hybrid tiling policy: probability-based tiling for leaf-biased trees only.
+
+Section III-C: "we perform probability-based tiling on trees only when a
+small fraction (alpha) of leaves cover a large part (beta) of the training
+inputs" — all other trees fall back to basic tiling. This is the policy the
+paper evaluates in Figure 11a.
+"""
+
+from __future__ import annotations
+
+from repro.forest.statistics import is_leaf_biased
+from repro.forest.tree import DecisionTree
+from repro.hir.tiling.basic import basic_tiling
+from repro.hir.tiling.probability import probability_tiling
+
+
+def hybrid_tiling(
+    tree: DecisionTree, tile_size: int, alpha: float = 0.075, beta: float = 0.9
+) -> list[list[int]]:
+    """Tile with Algorithm 1 when the tree is leaf-biased, else Algorithm 2.
+
+    Trees without populated probabilities are never considered leaf-biased
+    (there is no evidence of bias to exploit) and take the basic path.
+    """
+    if tree.node_probability is not None and is_leaf_biased(tree, alpha, beta):
+        return probability_tiling(tree, tile_size)
+    return basic_tiling(tree, tile_size)

@@ -1,0 +1,97 @@
+"""Validity checking for tilings (Section III-B1).
+
+A tiling of a tree with tile size ``n_t`` is *valid* when it satisfies:
+
+* **Partitioning** — the tiles cover all internal nodes, disjointly (leaves
+  are implicitly their own tiles and must not appear in any internal tile:
+  **leaf separation**).
+* **Connectedness** — each tile is a connected subtree.
+* **Maximal tiling** — a tile smaller than ``n_t`` has no outgoing edge to a
+  non-leaf node (it could otherwise have grown).
+
+``check_valid_tiling`` raises :class:`~repro.errors.TilingError` with a
+precise message on the first violated constraint; every tiling algorithm in
+this package is checked against it in the test suite (including via
+hypothesis-generated random trees).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TilingError
+from repro.forest.tree import DecisionTree
+
+
+def check_valid_tiling(
+    tree: DecisionTree, internal_tiles: list[list[int]], tile_size: int
+) -> None:
+    """Validate ``internal_tiles`` as a tiling of ``tree``; raise on violation."""
+    if tile_size < 1:
+        raise TilingError("tile size must be >= 1")
+    if tree.is_leaf(0):
+        if internal_tiles:
+            raise TilingError("single-leaf tree must have an empty internal tiling")
+        return
+
+    internal = set(int(n) for n in tree.internal_nodes())
+    leaves = set(int(n) for n in tree.leaves())
+
+    seen: set[int] = set()
+    for i, nodes in enumerate(internal_tiles):
+        if not nodes:
+            raise TilingError(f"tile {i} is empty")
+        if len(nodes) > tile_size:
+            raise TilingError(f"tile {i} has {len(nodes)} nodes, exceeding tile size {tile_size}")
+        for n in nodes:
+            n = int(n)
+            if n in leaves:
+                raise TilingError(f"leaf separation violated: leaf {n} in tile {i}")
+            if n not in internal:
+                raise TilingError(f"tile {i} references unknown node {n}")
+            if n in seen:
+                raise TilingError(f"partitioning violated: node {n} in multiple tiles")
+            seen.add(n)
+    if seen != internal:
+        missing = sorted(internal - seen)[:5]
+        raise TilingError(f"partitioning violated: internal nodes {missing} not tiled")
+
+    for i, nodes in enumerate(internal_tiles):
+        members = set(int(n) for n in nodes)
+        _check_connected(tree, members, i)
+        if len(members) < tile_size:
+            _check_maximal(tree, members, i)
+
+
+def _check_connected(tree: DecisionTree, members: set[int], tile_index: int) -> None:
+    """Connectedness: the tile must induce a connected subtree.
+
+    In a tree, a node set is connected iff exactly one member's parent lies
+    outside the set (the tile root) and every member is reachable from it by
+    in-set child edges.
+    """
+    parents = tree.parents()
+    roots = [n for n in members if int(parents[n]) not in members]
+    if len(roots) != 1:
+        raise TilingError(
+            f"connectedness violated in tile {tile_index}: {len(roots)} tile roots"
+        )
+    reached = {roots[0]}
+    stack = [roots[0]]
+    while stack:
+        n = stack.pop()
+        for c in tree.children(n):
+            if c in members and c not in reached:
+                reached.add(int(c))
+                stack.append(int(c))
+    if reached != members:
+        raise TilingError(f"connectedness violated in tile {tile_index}")
+
+
+def _check_maximal(tree: DecisionTree, members: set[int], tile_index: int) -> None:
+    """Maximal tiling: undersized tiles may only border leaves."""
+    for n in members:
+        for c in tree.children(n):
+            if c not in members and not tree.is_leaf(int(c)):
+                raise TilingError(
+                    f"maximality violated: tile {tile_index} has size {len(members)} "
+                    f"< tile size but borders non-leaf node {int(c)}"
+                )

@@ -1,0 +1,28 @@
+"""Low-level IR: explicit memory layout and vectorizable walk kernels.
+
+This level (Section V of the paper) materializes the tiled trees into
+buffers — the array-based representation with implicit ``(n_t+1)·n + i + 1``
+child indexing, or the sparse representation with child pointers and a
+separate leaves array — and lowers each MIR walk into the fixed op sequence
+of the vectorized tree walk (load thresholds / load feature indices / gather
+features / vector compare / pack bits / LUT child lookup / advance).
+"""
+
+from repro.lir.ir import LIRGroup, LIRModule, WALK_STEP_OPS
+from repro.lir.layout.array_layout import ArrayGroupLayout, build_array_layout
+from repro.lir.layout.sparse_layout import SparseGroupLayout, build_sparse_layout
+from repro.lir.lowering import lower_mir_to_lir
+from repro.lir.memory import layout_nbytes, model_memory_report
+
+__all__ = [
+    "ArrayGroupLayout",
+    "LIRGroup",
+    "LIRModule",
+    "SparseGroupLayout",
+    "WALK_STEP_OPS",
+    "build_array_layout",
+    "build_sparse_layout",
+    "layout_nbytes",
+    "lower_mir_to_lir",
+    "model_memory_report",
+]

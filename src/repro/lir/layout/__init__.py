@@ -1,0 +1,11 @@
+"""In-memory representations of tiled trees (Section V-B)."""
+
+from repro.lir.layout.array_layout import ArrayGroupLayout, build_array_layout
+from repro.lir.layout.sparse_layout import SparseGroupLayout, build_sparse_layout
+
+__all__ = [
+    "ArrayGroupLayout",
+    "SparseGroupLayout",
+    "build_array_layout",
+    "build_sparse_layout",
+]

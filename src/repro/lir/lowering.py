@@ -1,0 +1,63 @@
+"""MIR -> LIR lowering: materialize buffers and bind walks to them.
+
+For each tree group the schedule's layout is built (stacked across the
+group's trees); degenerate all-leaf groups are marked trivial so the
+backend can fold them into the base score accumulation. The LUT is rebuilt
+from the registry *after* layout construction because layouts may register
+additional shapes (the dummy chain shape used by hops and padding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LoweringError
+from repro.hir.ir import HIRModule
+from repro.lir.ir import LIRGroup, LIRModule
+from repro.lir.layout.array_layout import build_array_layout
+from repro.lir.layout.sparse_layout import build_sparse_layout
+from repro.hir.tiling.shapes import storage_width
+from repro.mir.ir import MIRModule
+
+
+def lower_mir_to_lir(mir: MIRModule, hir: HIRModule) -> LIRModule:
+    """Lower the loop nest to buffer-level IR per the schedule's layout."""
+    schedule = mir.schedule
+    forest = hir.forest
+    class_of_tree = forest.class_ids()
+    groups: list[LIRGroup] = []
+    walks = {loop.group_id: loop.walk for loop in mir.tree_loops}
+    for group in hir.groups:
+        walk = walks.get(group.group_id)
+        if walk is None:
+            raise LoweringError(f"group {group.group_id} has no walk in MIR")
+        class_ids = class_of_tree[group.tree_indices]
+        if schedule.layout == "array":
+            layout = build_array_layout(
+                hir.tiled_trees, group.tree_indices, class_ids, hir.shape_registry
+            )
+        else:
+            layout = build_sparse_layout(
+                hir.tiled_trees, group.tree_indices, class_ids, hir.shape_registry
+            )
+        trivial = group.depth == 0
+        groups.append(
+            LIRGroup(
+                group_id=group.group_id,
+                layout=layout,
+                walk=walk,
+                class_ids=np.asarray(class_ids, dtype=np.int32),
+                trivial=trivial,
+            )
+        )
+    lut = hir.shape_registry.build_lut(width=storage_width(schedule.tile_size))
+    return LIRModule(
+        schedule=schedule,
+        mir=mir,
+        groups=groups,
+        lut=lut,
+        num_features=forest.num_features,
+        num_classes=forest.num_classes,
+        base_score=forest.base_score,
+        pass_log=list(mir.pass_log) + ["lower_mir_to_lir"],
+    )

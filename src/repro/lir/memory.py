@@ -1,0 +1,83 @@
+"""Memory footprint accounting for tiled-tree representations.
+
+Reproduces the Section V-B2 measurements: the array layout's bloat over the
+scalar (tile size 1) representation, and the sparse layout's recovery of
+that bloat. ``model_memory_report`` builds all three representations for a
+forest and reports their sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import Schedule
+from repro.forest.ensemble import Forest
+from repro.hir.ir import build_hir
+from repro.lir.lowering import lower_mir_to_lir
+from repro.mir.lowering import lower_hir_to_mir
+from repro.mir.passes import run_mir_pipeline
+
+
+def layout_nbytes(forest: Forest, schedule: Schedule) -> int:
+    """Model-buffer bytes for ``forest`` compiled under ``schedule``."""
+    hir = build_hir(forest, schedule)
+    mir = run_mir_pipeline(lower_hir_to_mir(hir), hir)
+    lir = lower_mir_to_lir(mir, hir)
+    return lir.total_nbytes()
+
+
+#: bytes per node of the compact scalar (untiled) representation: threshold
+#: f64 + feature index i32 + child pointer i32 (leaf values share the
+#: threshold field) — the baseline the paper's bloat factors are against
+SCALAR_NODE_BYTES = 16
+
+
+def scalar_reference_bytes(forest: Forest) -> int:
+    """Footprint of a compact untiled node-array representation."""
+    return forest.total_nodes * SCALAR_NODE_BYTES
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Byte sizes of the three representations of one model."""
+
+    scalar_bytes: int
+    array_bytes: int
+    sparse_bytes: int
+    tile_size: int
+
+    @property
+    def array_bloat(self) -> float:
+        """Array layout size relative to the scalar representation."""
+        return self.array_bytes / self.scalar_bytes
+
+    @property
+    def sparse_vs_array(self) -> float:
+        """How many times smaller the sparse layout is than the array one."""
+        return self.array_bytes / self.sparse_bytes
+
+    @property
+    def sparse_overhead(self) -> float:
+        """Sparse layout size relative to the scalar representation."""
+        return self.sparse_bytes / self.scalar_bytes
+
+
+def model_memory_report(
+    forest: Forest, tile_size: int = 8, base: Schedule | None = None
+) -> MemoryReport:
+    """Compare scalar / array / sparse footprints for one forest.
+
+    The scalar reference is the compact untiled node array (16 B/node),
+    the paper's baseline for the 8x / 6.8x / 16% figures. Padding is
+    disabled so the comparison isolates representation overhead.
+    """
+    base = base or Schedule(tiling="basic", pad_and_unroll=False, peel_walk=False)
+    scalar = scalar_reference_bytes(forest)
+    array = layout_nbytes(forest, base.with_(tile_size=tile_size, layout="array"))
+    sparse = layout_nbytes(forest, base.with_(tile_size=tile_size, layout="sparse"))
+    return MemoryReport(
+        scalar_bytes=scalar,
+        array_bytes=array,
+        sparse_bytes=sparse,
+        tile_size=tile_size,
+    )

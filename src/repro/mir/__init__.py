@@ -1,0 +1,31 @@
+"""Mid-level IR: explicit loop nests over (tree, row) pairs.
+
+At this level (Section IV of the paper) the order in which tree/row pairs
+are walked is explicit, but memory layout is not: ``WalkOp`` still
+"represents all valid ways to compute the prediction of a decision tree".
+The passes here rewrite the loop nest — interleaving walks (unroll-and-jam),
+peeling and unrolling walk loops, and tiling the row loop for
+parallelization — and record their decisions on the IR for the LIR lowering
+to consume.
+"""
+
+from repro.mir.ir import MIRModule, RowLoop, TreeChunkLoop, WalkOp
+from repro.mir.lowering import lower_hir_to_mir
+from repro.mir.passes import (
+    interleave_pass,
+    parallelize_pass,
+    peel_and_unroll_pass,
+    run_mir_pipeline,
+)
+
+__all__ = [
+    "MIRModule",
+    "RowLoop",
+    "TreeChunkLoop",
+    "WalkOp",
+    "interleave_pass",
+    "lower_hir_to_mir",
+    "parallelize_pass",
+    "peel_and_unroll_pass",
+    "run_mir_pipeline",
+]

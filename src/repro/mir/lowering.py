@@ -1,0 +1,37 @@
+"""HIR -> MIR lowering: build the initial loop nest.
+
+The loop structure (order, blocking) was decided at the HIR level and is
+communicated through the schedule, exactly as the paper lowers HIR
+annotations into explicit MIR loop nests (Section II). The initial nest is
+unoptimized: every walk has width 1 and a guarded loop; the MIR passes in
+:mod:`repro.mir.passes` then rewrite it.
+"""
+
+from __future__ import annotations
+
+from repro.hir.ir import HIRModule
+from repro.mir.ir import MIRModule, RowLoop, TreeChunkLoop, WalkOp
+
+
+def lower_hir_to_mir(hir: HIRModule) -> MIRModule:
+    """Materialize the loop nest for ``hir`` per its schedule."""
+    schedule = hir.schedule
+    row_loop = RowLoop(block=schedule.row_block, num_threads=1)
+    tree_loops = []
+    for group in hir.groups:
+        walk = WalkOp(group_id=group.group_id, width=1, style="loop", depth=group.depth)
+        tree_loops.append(
+            TreeChunkLoop(
+                group_id=group.group_id,
+                num_trees=group.num_trees,
+                step=1,
+                walk=walk,
+            )
+        )
+    return MIRModule(
+        schedule=schedule,
+        loop_order=schedule.loop_order,
+        row_loop=row_loop,
+        tree_loops=tree_loops,
+        pass_log=["lower_hir_to_mir"],
+    )

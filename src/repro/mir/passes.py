@@ -1,0 +1,104 @@
+"""MIR optimization passes (Section IV).
+
+Each pass takes and returns an :class:`~repro.mir.ir.MIRModule`, mutating the
+loop nest in place and appending to ``pass_log``. ``run_mir_pipeline``
+applies the standard ordering driven by the schedule.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoweringError
+from repro.hir.ir import HIRModule
+from repro.mir.ir import MIRModule
+
+
+def interleave_pass(mir: MIRModule, hir: HIRModule) -> MIRModule:
+    """Tree-walk interleaving by unroll-and-jam (Section IV-A).
+
+    The innermost tree loop is unrolled ``factor`` times and the resulting
+    walks jammed into one interleaved walk, so independent walks can overlap
+    (in the paper: hide dependency stalls; here: amortize per-step overhead
+    across wider vector operations). The jam width is clipped to the group
+    size — jamming more walks than there are trees is meaningless.
+    """
+    factor = mir.schedule.interleave
+    for loop in mir.tree_loops:
+        width = max(1, min(factor, loop.num_trees))
+        loop.step = width
+        loop.walk.width = width
+    mir.pass_log.append(f"interleave(factor={factor})")
+    return mir
+
+
+def peel_and_unroll_pass(mir: MIRModule, hir: HIRModule) -> MIRModule:
+    """Walk peeling and unrolling (Section IV-B).
+
+    Uniform-depth (padded) groups get fully unrolled walks with no
+    termination checks. Other groups get a peeled prologue: the first
+    ``min_leaf_depth - 1`` steps cannot reach a leaf, so their termination
+    checks are elided; the remaining steps run in a guarded loop.
+    """
+    groups = {g.group_id: g for g in hir.groups}
+    for loop in mir.tree_loops:
+        group = groups[loop.group_id]
+        walk = loop.walk
+        if mir.schedule.pad_and_unroll and group.uniform and group.depth > 0:
+            walk.style = "unrolled"
+            walk.depth = group.depth
+            walk.peel = 0
+        elif mir.schedule.peel_walk and group.min_leaf_depth > 1:
+            walk.style = "peeled"
+            walk.depth = group.depth
+            walk.peel = group.min_leaf_depth - 1
+        else:
+            walk.style = "loop"
+            walk.depth = group.depth
+    mir.pass_log.append("peel_and_unroll")
+    return mir
+
+
+def parallelize_pass(mir: MIRModule, hir: HIRModule) -> MIRModule:
+    """Naive row-loop parallelization (Section IV-C).
+
+    The loop over input rows is tiled by the core count and marked
+    ``parallel.for``; each thread runs the full tree nest on its block.
+    """
+    threads = mir.schedule.parallel
+    if threads > 1:
+        mir.row_loop.num_threads = threads
+    mir.pass_log.append(f"parallelize(threads={threads})")
+    return mir
+
+
+def verify_mir(mir: MIRModule, hir: HIRModule) -> None:
+    """Structural sanity checks between passes; raises LoweringError."""
+    seen = set()
+    groups = {g.group_id: g for g in hir.groups}
+    for loop in mir.tree_loops:
+        if loop.group_id in seen:
+            raise LoweringError(f"group {loop.group_id} appears in two tree loops")
+        seen.add(loop.group_id)
+        if loop.group_id not in groups:
+            raise LoweringError(f"unknown group {loop.group_id}")
+        group = groups[loop.group_id]
+        if loop.num_trees != group.num_trees:
+            raise LoweringError("tree loop trip count disagrees with its group")
+        walk = loop.walk
+        if walk.width > loop.num_trees:
+            raise LoweringError("jam width exceeds group size")
+        if walk.style == "unrolled" and not group.uniform:
+            raise LoweringError("unrolled walk on a non-uniform-depth group")
+        if walk.style == "peeled" and walk.peel >= group.min_leaf_depth:
+            raise LoweringError("peel count reaches the shallowest leaf")
+    if seen != set(groups):
+        raise LoweringError("some groups have no tree loop")
+
+
+def run_mir_pipeline(mir: MIRModule, hir: HIRModule) -> MIRModule:
+    """Apply the schedule-driven pass ordering with verification."""
+    if hir.schedule.interleave > 1:
+        interleave_pass(mir, hir)
+    peel_and_unroll_pass(mir, hir)
+    parallelize_pass(mir, hir)
+    verify_mir(mir, hir)
+    return mir

@@ -1,0 +1,21 @@
+"""Performance measurement and modeling.
+
+``timer`` provides robust wall-clock measurement (min-of-repeats, per-row
+normalization). ``machine`` defines the two machine profiles (Intel Rocket
+Lake-like and AMD Ryzen-like) used by the microarchitectural model in
+``simpipe``, which reproduces the paper's VTune-based stall analysis
+(Section VI-E) with a trace-driven cache + branch-predictor + in-order
+pipeline cost model.
+"""
+
+from repro.perf.machine import AMD_RYZEN_LIKE, INTEL_ROCKET_LAKE_LIKE, MachineProfile
+from repro.perf.timer import Measurement, measure, per_row_us
+
+__all__ = [
+    "AMD_RYZEN_LIKE",
+    "INTEL_ROCKET_LAKE_LIKE",
+    "MachineProfile",
+    "Measurement",
+    "measure",
+    "per_row_us",
+]

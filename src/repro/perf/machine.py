@@ -1,0 +1,102 @@
+"""Machine profiles for the microarchitectural cost model.
+
+The paper evaluates on an Intel Core i9-11900K (Rocket Lake) and an AMD
+Ryzen 7 4700G and finds the best optimization parameters differ — most
+notably because "the Intel machine has a much more efficient implementation
+of the gather instruction" (Section VI-A). The profiles below encode the
+parameters the :mod:`repro.perf.simpipe` model consumes; the numbers are
+order-of-magnitude public figures, not measurements of the actual parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Cost-model parameters for one CPU target.
+
+    Attributes
+    ----------
+    name:
+        Profile identifier.
+    issue_width:
+        Max instructions retired per cycle (in-order approximation).
+    vector_width_bits:
+        SIMD width; determines how many tile lanes one vector op covers.
+    gather_cost_per_lane:
+        Cycles per gathered element (Intel's AVX-512-era gather is much
+        cheaper per lane than AMD Zen 2's microcoded one).
+    l1_size, l1_assoc, l1_line, l1_latency:
+        L1 data cache geometry and hit latency (cycles).
+    l2_size, l2_assoc, l2_latency:
+        L2 geometry and latency.
+    mem_latency:
+        Miss-to-DRAM latency in cycles.
+    branch_miss_penalty:
+        Pipeline refill cost of a mispredicted branch.
+    icache_line_capacity:
+        Instruction-cache capacity proxy (bytes of hot code before
+        front-end misses start) — used for the Treelite-style analysis.
+    cores:
+        Physical core count for parallel scaling studies.
+    """
+
+    name: str
+    issue_width: int = 4
+    vector_width_bits: int = 256
+    gather_cost_per_lane: float = 1.0
+    l1_size: int = 48 * 1024
+    l1_assoc: int = 12
+    l1_line: int = 64
+    l1_latency: int = 5
+    l2_size: int = 512 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 13
+    mem_latency: int = 220
+    branch_miss_penalty: int = 17
+    icache_line_capacity: int = 32 * 1024
+    cores: int = 8
+
+    @property
+    def vector_lanes_f64(self) -> int:
+        """Double-precision lanes per vector register."""
+        return max(1, self.vector_width_bits // 64)
+
+
+#: Intel Core i9-11900K (Rocket Lake)-like: AVX-512, fast gathers.
+INTEL_ROCKET_LAKE_LIKE = MachineProfile(
+    name="intel-rocket-lake-like",
+    issue_width=5,
+    vector_width_bits=512,
+    gather_cost_per_lane=0.8,
+    l1_size=48 * 1024,
+    l1_assoc=12,
+    l1_latency=5,
+    l2_size=512 * 1024,
+    l2_assoc=8,
+    l2_latency=13,
+    mem_latency=220,
+    branch_miss_penalty=17,
+    cores=8,
+)
+
+#: AMD Ryzen 7 4700G (Zen 2)-like: AVX2, microcoded (slow) gathers.
+AMD_RYZEN_LIKE = MachineProfile(
+    name="amd-ryzen-like",
+    issue_width=5,
+    vector_width_bits=256,
+    gather_cost_per_lane=2.5,
+    l1_size=32 * 1024,
+    l1_assoc=8,
+    l1_latency=4,
+    l2_size=512 * 1024,
+    l2_assoc=8,
+    l2_latency=12,
+    mem_latency=240,
+    branch_miss_penalty=16,
+    cores=8,
+)
+
+PROFILES = {p.name: p for p in (INTEL_ROCKET_LAKE_LIKE, AMD_RYZEN_LIKE)}

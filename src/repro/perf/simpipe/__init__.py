@@ -1,0 +1,44 @@
+"""simpipe: a trace-driven microarchitectural cost model.
+
+Reproduces the paper's Section VI-E analysis (Intel VTune top-down stall
+breakdowns) without hardware counters: each code-generation variant —
+*OneRow*, *OneTree*, *Vector*, *Interleaved*, and Treelite-style if-else —
+is traced by actually walking the model on sample rows while feeding a
+set-associative cache hierarchy and a 2-bit branch predictor; an in-order
+pipeline model then attributes cycles to front-end stalls, memory-bound
+back-end stalls, core-bound (dependency) back-end stalls, and retiring.
+
+The absolute cycle counts are a model, not a measurement; what carries over
+from the paper is the *attribution shape*: OneRow back-end bound, OneTree
+recovering memory stalls, Vector cutting instructions, Interleaved cutting
+core stalls, and Treelite front-end bound.
+"""
+
+from repro.perf.simpipe.branch import TwoBitPredictor
+from repro.perf.simpipe.cache import Cache, MemoryHierarchy
+from repro.perf.simpipe.pipeline import stall_breakdown
+from repro.perf.simpipe.report import StallBreakdown
+from repro.perf.simpipe.trace import (
+    TraceStats,
+    trace_interleaved,
+    trace_one_row,
+    trace_one_tree,
+    trace_treelite,
+    trace_vector,
+    trace_variant,
+)
+
+__all__ = [
+    "Cache",
+    "MemoryHierarchy",
+    "StallBreakdown",
+    "TraceStats",
+    "TwoBitPredictor",
+    "stall_breakdown",
+    "trace_interleaved",
+    "trace_one_row",
+    "trace_one_tree",
+    "trace_treelite",
+    "trace_variant",
+    "trace_vector",
+]

@@ -1,0 +1,38 @@
+"""Branch prediction: a table of 2-bit saturating counters."""
+
+from __future__ import annotations
+
+
+class TwoBitPredictor:
+    """Bimodal predictor: one 2-bit counter per branch-id slot.
+
+    Counter states 0-1 predict not-taken, 2-3 predict taken. The table is
+    direct-mapped on the branch id, so distinct branches alias when the
+    working set exceeds the table — which is precisely what happens to
+    if-else-expanded ensembles (every tree node is its own branch).
+    """
+
+    def __init__(self, table_size: int = 4096) -> None:
+        self.table_size = table_size
+        self._counters = [1] * table_size
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def record(self, branch_id: int, taken: bool) -> bool:
+        """Predict + update for one dynamic branch; returns correctness."""
+        slot = branch_id % self.table_size
+        counter = self._counters[slot]
+        predicted_taken = counter >= 2
+        correct = predicted_taken == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if taken:
+            self._counters[slot] = min(3, counter + 1)
+        else:
+            self._counters[slot] = max(0, counter - 1)
+        return correct
+
+    @property
+    def miss_rate(self) -> float:
+        return self.mispredictions / self.predictions if self.predictions else 0.0

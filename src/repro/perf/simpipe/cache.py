@@ -1,0 +1,93 @@
+"""Set-associative LRU caches and a two-level memory hierarchy."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class Cache:
+    """A set-associative cache with true-LRU replacement.
+
+    Only tag state is modeled (no data). ``access`` returns True on hit and
+    installs the line on miss.
+    """
+
+    def __init__(self, size: int, assoc: int, line: int = 64) -> None:
+        if size <= 0 or assoc <= 0 or line <= 0:
+            raise ReproError("cache parameters must be positive")
+        num_lines = size // line
+        if num_lines % assoc != 0:
+            raise ReproError("cache size / line size must be divisible by associativity")
+        self.line = line
+        self.assoc = assoc
+        self.num_sets = num_lines // assoc
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Access one byte address; returns hit/miss and updates LRU state."""
+        tag = addr // self.line
+        index = tag % self.num_sets
+        ways = self._sets[index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways[tag] = None
+        if len(ways) > self.assoc:
+            ways.popitem(last=False)
+        return False
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class MemoryHierarchy:
+    """L1 + L2 + DRAM; ``access`` returns the load-to-use latency in cycles."""
+
+    l1: Cache
+    l2: Cache
+    l1_latency: int
+    l2_latency: int
+    mem_latency: int
+    #: accesses that missed all the way to DRAM
+    dram_accesses: int = 0
+    total_accesses: int = 0
+
+    @classmethod
+    def for_machine(cls, machine) -> "MemoryHierarchy":
+        """Build a hierarchy from a MachineProfile."""
+        return cls(
+            l1=Cache(machine.l1_size, machine.l1_assoc, machine.l1_line),
+            l2=Cache(machine.l2_size, machine.l2_assoc, machine.l1_line),
+            l1_latency=machine.l1_latency,
+            l2_latency=machine.l2_latency,
+            mem_latency=machine.mem_latency,
+        )
+
+    def access(self, addr: int) -> int:
+        self.total_accesses += 1
+        if self.l1.access(addr):
+            return self.l1_latency
+        if self.l2.access(addr):
+            return self.l2_latency
+        self.dram_accesses += 1
+        return self.mem_latency
+
+    def access_range(self, addr: int, size: int) -> int:
+        """Access ``size`` bytes starting at ``addr``; returns total latency
+        of the distinct lines touched (vector loads touch 1-2 lines)."""
+        line = self.l1.line
+        total = 0
+        for a in range(addr - addr % line, addr + size, line):
+            total += self.access(a)
+        return total

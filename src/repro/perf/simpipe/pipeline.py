@@ -1,0 +1,74 @@
+"""In-order pipeline cost model: trace stats -> stall breakdown.
+
+The model attributes cycles to four top-down buckets:
+
+* **retiring** — instructions / issue width, plus vector-op and gather
+  throughput (gathers cost ``gather_cost_per_lane`` per lane, the knob that
+  separates the Intel-like and AMD-like profiles);
+* **front-end** — i-cache miss latency plus branch-misprediction refills
+  (grouped as the paper does for the Treelite analysis);
+* **back-end memory** — data-access latency beyond the pipelined L1 hit
+  cost, divided by the memory-level parallelism available (independent
+  interleaved walks overlap their misses);
+* **back-end core** — the exposed dependency chain of each walk step
+  (address -> load -> compare -> select), less what the issue width can
+  overlap, divided by the number of independent chains.
+
+Coefficients are deliberately few and visible; this is a model for
+reproducing the *attribution shape* of Section VI-E, not a cycle-accurate
+simulator.
+"""
+
+from __future__ import annotations
+
+from repro.perf.machine import MachineProfile
+from repro.perf.simpipe.report import StallBreakdown
+from repro.perf.simpipe.trace import TraceStats
+
+#: non-load cycles on a walk step's critical path (address math, compare,
+#: select) — the L1 hit latency is added on top
+CHAIN_EXTRA_CYCLES = 3
+#: memory-level parallelism the core extracts from one walk
+BASE_MLP = 2
+
+
+#: independent chains the scheduler can actually exploit (port/ROB limits)
+MAX_EFFECTIVE_WIDTH = 4
+
+
+def stall_breakdown(stats: TraceStats, machine: MachineProfile) -> StallBreakdown:
+    """Attribute modeled cycles for ``stats`` on ``machine``."""
+    width = min(max(1, stats.width), MAX_EFFECTIVE_WIDTH)
+
+    retiring = stats.instructions / machine.issue_width
+    retiring += stats.vector_ops
+    retiring += stats.gather_lanes * machine.gather_cost_per_lane
+
+    # Data-side stalls: latency beyond the pipelined L1-hit cost, overlapped
+    # across independent walks.
+    hidden = stats.mem_accesses * machine.l1_latency
+    excess = max(0, stats.mem_cycles - hidden)
+    mlp = BASE_MLP * width
+    backend_memory = excess / mlp
+
+    # Dependency stalls: each step's chain is serial within a walk; the
+    # issue engine covers part of it, independent walks cover the rest.
+    chain = machine.l1_latency + CHAIN_EXTRA_CYCLES
+    per_step_issue = (stats.instructions / max(stats.steps, 1)) / machine.issue_width
+    exposed = max(0.0, chain - per_step_issue)
+    backend_core = stats.steps * exposed / width
+
+    frontend = stats.icache_cycles + stats.mispredictions * machine.branch_miss_penalty
+
+    total = retiring + frontend + backend_memory + backend_core
+    total = max(total, 1e-9)
+    return StallBreakdown(
+        variant=stats.variant,
+        machine=machine.name,
+        cycles_per_row=stats.per_row(total),
+        instructions_per_row=stats.per_row(stats.instructions),
+        retiring=retiring / total,
+        frontend=frontend / total,
+        backend_memory=backend_memory / total,
+        backend_core=backend_core / total,
+    )

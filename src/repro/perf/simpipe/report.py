@@ -1,0 +1,51 @@
+"""Stall-breakdown reporting structures (VTune top-down analog)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StallBreakdown:
+    """Cycle attribution for one traced variant on one machine.
+
+    Categories follow the paper's Section VI-E narrative: *front-end*
+    (instruction fetch/decode, including branch-misprediction refills, as
+    the paper groups them for the Treelite analysis), *back-end memory*
+    (data-cache misses), *back-end core* (dependency/port stalls), and
+    *retiring* (useful work).
+    """
+
+    variant: str
+    machine: str
+    cycles_per_row: float
+    instructions_per_row: float
+    retiring: float
+    frontend: float
+    backend_memory: float
+    backend_core: float
+
+    @property
+    def backend(self) -> float:
+        return self.backend_memory + self.backend_core
+
+    def row(self) -> dict:
+        """Flat dict for tabular reporting."""
+        return {
+            "variant": self.variant,
+            "machine": self.machine,
+            "cycles/row": round(self.cycles_per_row, 1),
+            "instrs/row": round(self.instructions_per_row, 1),
+            "retiring%": round(100 * self.retiring, 1),
+            "frontend%": round(100 * self.frontend, 1),
+            "backend-mem%": round(100 * self.backend_memory, 1),
+            "backend-core%": round(100 * self.backend_core, 1),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.variant:12s} [{self.machine}] "
+            f"cycles/row={self.cycles_per_row:9.1f} "
+            f"retiring={self.retiring:5.1%} frontend={self.frontend:5.1%} "
+            f"mem={self.backend_memory:5.1%} core={self.backend_core:5.1%}"
+        )

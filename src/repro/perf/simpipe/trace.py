@@ -1,0 +1,339 @@
+"""Variant tracers: walk the model and feed the cache/branch models.
+
+Each tracer executes the same inference the corresponding code-generation
+variant would perform, in the same order, touching modeled addresses:
+
+* rows live at ``ROWS_BASE`` (row-major float64),
+* binary-tree nodes at ``TREES_BASE`` (24 B per node: threshold, feature,
+  two child ids),
+* tiled-tree tiles at ``TILES_BASE`` (``12 * n_t + 8`` B per tile:
+  thresholds, feature indices, shape id, child pointer),
+* the LUT at ``LUT_BASE``,
+* generated code at ``CODE_BASE`` (used by the Treelite i-cache model).
+
+The output :class:`TraceStats` aggregates retired instructions, vector-op
+and gather counts, data-access latency from the cache hierarchy, branch
+mispredictions, and i-cache miss latency; :mod:`repro.perf.simpipe.pipeline`
+turns those into a stall breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.forest.ensemble import Forest
+from repro.hir.tiling.basic import basic_tiling
+from repro.hir.tiling.shapes import shape_child_for_bits
+from repro.hir.tiling.tile import TiledTree
+from repro.perf.machine import MachineProfile
+from repro.perf.simpipe.branch import TwoBitPredictor
+from repro.perf.simpipe.cache import Cache, MemoryHierarchy
+
+ROWS_BASE = 0x1000_0000
+TREES_BASE = 0x2000_0000
+TILES_BASE = 0x3000_0000
+LUT_BASE = 0x3800_0000
+CODE_BASE = 0x4000_0000
+
+NODE_BYTES = 24
+#: x86-ish bytes of code per if-else node (cmp + load + jcc + jmp)
+CODE_BYTES_PER_NODE = 48
+
+#: scalar instructions retired per binary-walk step (load feature index,
+#: load threshold, load feature, compare, select child, loop bookkeeping)
+SCALAR_STEP_INSTRS = 8
+#: scalar-equivalent instructions per vectorized tile step (address math,
+#: packbits, LUT index, child arithmetic, bookkeeping) — vector ops and
+#: gathers are counted separately
+VECTOR_STEP_INSTRS = 10
+
+
+@dataclass
+class TraceStats:
+    """Aggregated events of one traced variant."""
+
+    variant: str
+    rows: int
+    instructions: int = 0
+    vector_ops: int = 0
+    gather_lanes: int = 0
+    mem_cycles: int = 0
+    mem_accesses: int = 0
+    l1_misses: int = 0
+    dram_accesses: int = 0
+    branches: int = 0
+    mispredictions: int = 0
+    icache_cycles: int = 0
+    steps: int = 0
+    #: independent walks advanced together (unroll-and-jam width)
+    width: int = 1
+    code_bytes: int = 0
+
+    def per_row(self, value: float) -> float:
+        return value / max(self.rows, 1)
+
+
+def _reset_memory(mem: MemoryHierarchy) -> None:
+    """Clear hit/miss counters while keeping cache contents (warm state)."""
+    mem.l1.reset_counters()
+    mem.l2.reset_counters()
+    mem.dram_accesses = 0
+    mem.total_accesses = 0
+
+
+def _tree_bases(forest: Forest) -> list[int]:
+    bases = [TREES_BASE]
+    for tree in forest.trees:
+        bases.append(bases[-1] + tree.num_nodes * NODE_BYTES)
+    return bases
+
+
+def _binary_step(
+    stats: TraceStats,
+    mem: MemoryHierarchy,
+    predictor: TwoBitPredictor,
+    tree,
+    tree_base: int,
+    node: int,
+    row: np.ndarray,
+    row_addr: int,
+    branch_base: int,
+) -> int:
+    """One binary-walk step: node fetch, feature fetch, branch."""
+    stats.steps += 1
+    stats.instructions += SCALAR_STEP_INSTRS
+    stats.mem_cycles += mem.access_range(tree_base + node * NODE_BYTES, NODE_BYTES)
+    stats.mem_accesses += 1
+    feature = int(tree.feature[node])
+    stats.mem_cycles += mem.access(row_addr + feature * 8)
+    stats.mem_accesses += 1
+    go_left = row[feature] < tree.threshold[node]
+    stats.branches += 1
+    if not predictor.record(branch_base + node, bool(go_left)):
+        stats.mispredictions += 1
+    return int(tree.left[node]) if go_left else int(tree.right[node])
+
+
+def _scalar_trace(forest: Forest, rows: np.ndarray, machine: MachineProfile,
+                  one_tree: bool, warm: bool = True) -> TraceStats:
+    mem = MemoryHierarchy.for_machine(machine)
+    predictor = TwoBitPredictor()
+    bases = _tree_bases(forest)
+    num_features = forest.num_features
+
+    def run(stats: TraceStats) -> None:
+        def walk(t: int, i: int) -> None:
+            tree = forest.trees[t]
+            row = rows[i]
+            row_addr = ROWS_BASE + i * num_features * 8
+            node = 0
+            while tree.left[node] != -1:
+                node = _binary_step(
+                    stats, mem, predictor, tree, bases[t], node, row, row_addr, bases[t]
+                )
+            stats.mem_cycles += mem.access(bases[t] + node * NODE_BYTES)
+            stats.mem_accesses += 1
+            stats.instructions += 2  # leaf load + accumulate
+
+        if one_tree:
+            for t in range(forest.num_trees):
+                for i in range(rows.shape[0]):
+                    walk(t, i)
+        else:
+            for i in range(rows.shape[0]):
+                for t in range(forest.num_trees):
+                    walk(t, i)
+
+    variant = "OneTree" if one_tree else "OneRow"
+    if warm:
+        # Warm pass: populate caches/predictor so compulsory misses on the
+        # small traced sample do not swamp the steady-state behaviour.
+        run(TraceStats(variant=variant, rows=rows.shape[0]))
+        _reset_memory(mem)
+    stats = TraceStats(variant=variant, rows=rows.shape[0])
+    run(stats)
+    stats.l1_misses = mem.l1.misses
+    stats.dram_accesses = mem.dram_accesses
+    return stats
+
+
+def trace_one_row(forest: Forest, rows: np.ndarray, machine: MachineProfile) -> TraceStats:
+    """Scalar code, one row at a time over all trees (paper's *OneRow*)."""
+    return _scalar_trace(forest, rows, machine, one_tree=False)
+
+
+def trace_one_tree(forest: Forest, rows: np.ndarray, machine: MachineProfile) -> TraceStats:
+    """Scalar code, one tree at a time over all rows (paper's *OneTree*)."""
+    return _scalar_trace(forest, rows, machine, one_tree=True)
+
+
+def _tiled_model(forest: Forest, tile_size: int) -> list[TiledTree]:
+    return [
+        TiledTree.from_tiling(tree, basic_tiling(tree, tile_size), tile_size)
+        for tree in forest.trees
+    ]
+
+
+def _vector_trace(
+    forest: Forest,
+    rows: np.ndarray,
+    machine: MachineProfile,
+    tile_size: int,
+    width: int,
+    variant: str,
+) -> TraceStats:
+    """Tiled + vectorized walk; ``width`` jammed walks share the schedule."""
+    mem = MemoryHierarchy.for_machine(machine)
+    tiled_trees = _tiled_model(forest, tile_size)
+    tile_bytes = 12 * tile_size + 8
+    bases = [TILES_BASE]
+    for tiled in tiled_trees:
+        bases.append(bases[-1] + tiled.num_tiles * tile_bytes)
+    num_features = forest.num_features
+    lut_row_bytes = 1 << tile_size
+
+    def run(stats: TraceStats) -> None:
+        for t, tiled in enumerate(tiled_trees):
+            tree = tiled.tree
+            for i in range(rows.shape[0]):
+                row = rows[i]
+                row_addr = ROWS_BASE + i * num_features * 8
+                tile = tiled.tiles[0]
+                while not tile.is_leaf:
+                    stats.steps += 1
+                    stats.instructions += VECTOR_STEP_INSTRS
+                    # Vector loads: thresholds + feature indices of the tile.
+                    stats.vector_ops += 3  # two loads + one compare
+                    stats.mem_cycles += mem.access_range(
+                        bases[t] + tile.tile_id * tile_bytes, tile_bytes
+                    )
+                    stats.mem_accesses += 1
+                    if tile.is_dummy:
+                        bits = (1 << tile_size) - 1
+                    else:
+                        bits = 0
+                        for pos, node in enumerate(tile.nodes):
+                            # Feature gather: one lane per tile node.
+                            stats.gather_lanes += 1
+                            stats.mem_cycles += mem.access(
+                                row_addr + int(tree.feature[node]) * 8
+                            )
+                            stats.mem_accesses += 1
+                            if row[tree.feature[node]] < tree.threshold[node]:
+                                bits |= 1 << pos
+                        # Padding lanes still gather (speculative evaluation).
+                        stats.gather_lanes += tile_size - len(tile.nodes)
+                    # LUT lookup (hot; usually L1-resident).
+                    shape_ord = 0 if tile.is_dummy else abs(hash(tile.shape)) % 64
+                    stats.mem_cycles += mem.access(LUT_BASE + shape_ord * lut_row_bytes + bits)
+                    stats.mem_accesses += 1
+                    if tile.is_dummy:
+                        child_index = 0
+                    else:
+                        child_index = shape_child_for_bits(tile.shape, bits)
+                    tile = tiled.tiles[tile.children[child_index]]
+                stats.instructions += 2  # leaf load + accumulate
+
+    run(TraceStats(variant=variant, rows=rows.shape[0], width=width))
+    _reset_memory(mem)
+    stats = TraceStats(variant=variant, rows=rows.shape[0], width=width)
+    run(stats)
+    stats.l1_misses = mem.l1.misses
+    stats.dram_accesses = mem.dram_accesses
+    return stats
+
+
+def trace_vector(
+    forest: Forest, rows: np.ndarray, machine: MachineProfile, tile_size: int = 8
+) -> TraceStats:
+    """Tiled + vectorized, one tree at a time (paper's *Vector*)."""
+    return _vector_trace(forest, rows, machine, tile_size, width=1, variant="Vector")
+
+
+def trace_interleaved(
+    forest: Forest,
+    rows: np.ndarray,
+    machine: MachineProfile,
+    tile_size: int = 8,
+    width: int = 8,
+) -> TraceStats:
+    """Tiled + vectorized + unroll-and-jam (paper's *Interleaved*).
+
+    The event stream matches *Vector* (same loads, same work) minus the loop
+    bookkeeping removed by unrolling; the pipeline model exploits ``width``
+    independent chains when attributing dependency stalls.
+    """
+    stats = _vector_trace(forest, rows, machine, tile_size, width, "Interleaved")
+    # Unrolling removes roughly a third of the dynamic instructions
+    # (loop control + induction) — Section VI-E.
+    stats.instructions = int(stats.instructions * 2 / 3)
+    return stats
+
+
+def trace_treelite(forest: Forest, rows: np.ndarray, machine: MachineProfile) -> TraceStats:
+    """If-else expanded code: every node is its own branch + code block."""
+    stats = TraceStats(variant="Treelite", rows=rows.shape[0])
+    mem = MemoryHierarchy.for_machine(machine)
+    icache = Cache(machine.icache_line_capacity, 8, 64)
+    predictor = TwoBitPredictor()
+    num_features = forest.num_features
+    # Code layout: each node's compare/branch block, laid out per tree.
+    code_bases = [CODE_BASE]
+    for tree in forest.trees:
+        code_bases.append(code_bases[-1] + tree.num_nodes * CODE_BYTES_PER_NODE)
+    stats.code_bytes = code_bases[-1] - CODE_BASE
+    miss_latency = machine.l2_latency  # decoded from L2 on i-cache miss
+
+    def run(stats: TraceStats) -> None:
+        for i in range(rows.shape[0]):
+            row = rows[i]
+            row_addr = ROWS_BASE + i * num_features * 8
+            for t, tree in enumerate(forest.trees):
+                node = 0
+                while tree.left[node] != -1:
+                    stats.steps += 1
+                    stats.instructions += SCALAR_STEP_INSTRS
+                    # Instruction fetch for this node's block.
+                    if not icache.access(code_bases[t] + node * CODE_BYTES_PER_NODE):
+                        stats.icache_cycles += miss_latency
+                    # Thresholds are immediates in the code; only the feature
+                    # value is a data access.
+                    feature = int(tree.feature[node])
+                    stats.mem_cycles += mem.access(row_addr + feature * 8)
+                    stats.mem_accesses += 1
+                    go_left = row[feature] < tree.threshold[node]
+                    stats.branches += 1
+                    if not predictor.record(
+                        (code_bases[t] + node * CODE_BYTES_PER_NODE) // 16, bool(go_left)
+                    ):
+                        stats.mispredictions += 1
+                    node = int(tree.left[node]) if go_left else int(tree.right[node])
+                stats.instructions += 2
+
+    code_bytes = stats.code_bytes
+    run(TraceStats(variant="Treelite", rows=rows.shape[0]))
+    _reset_memory(mem)
+    icache.reset_counters()
+    stats = TraceStats(variant="Treelite", rows=rows.shape[0], code_bytes=code_bytes)
+    run(stats)
+    stats.l1_misses = mem.l1.misses
+    stats.dram_accesses = mem.dram_accesses
+    return stats
+
+
+VARIANTS = {
+    "OneRow": trace_one_row,
+    "OneTree": trace_one_tree,
+    "Vector": trace_vector,
+    "Interleaved": trace_interleaved,
+    "Treelite": trace_treelite,
+}
+
+
+def trace_variant(
+    name: str, forest: Forest, rows: np.ndarray, machine: MachineProfile, **kwargs
+) -> TraceStats:
+    """Dispatch a tracer by variant name (see :data:`VARIANTS`)."""
+    return VARIANTS[name](forest, rows, machine, **kwargs)

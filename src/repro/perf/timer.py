@@ -1,0 +1,60 @@
+"""Wall-clock measurement helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timing result.
+
+    ``seconds`` is the minimum over repeats (the standard low-noise
+    estimator for compute-bound kernels); ``all_seconds`` keeps every
+    repeat for dispersion reporting.
+    """
+
+    seconds: float
+    all_seconds: tuple[float, ...]
+    rows: int
+
+    @property
+    def per_row_us(self) -> float:
+        """Microseconds per input row."""
+        return self.seconds / max(self.rows, 1) * 1e6
+
+
+def measure(
+    fn: Callable[[], object],
+    rows: int,
+    repeats: int = 5,
+    warmup: int = 1,
+    min_time_s: float = 0.0,
+) -> Measurement:
+    """Time ``fn`` with warmup; returns the min over ``repeats``.
+
+    ``min_time_s`` optionally extends each repeat by looping until the
+    elapsed time passes the floor (for very fast kernels), normalizing the
+    reported time by the loop count.
+    """
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(max(1, repeats)):
+        count = 0
+        start = time.perf_counter()
+        while True:
+            fn()
+            count += 1
+            elapsed = time.perf_counter() - start
+            if elapsed >= min_time_s or min_time_s <= 0.0:
+                break
+        times.append(elapsed / count)
+    return Measurement(seconds=min(times), all_seconds=tuple(times), rows=rows)
+
+
+def per_row_us(fn: Callable[[], object], rows: int, repeats: int = 5) -> float:
+    """Shorthand: best-of-``repeats`` microseconds per row."""
+    return measure(fn, rows=rows, repeats=repeats).per_row_us

@@ -1,0 +1,55 @@
+"""Plain-text and CSV table rendering for experiment output."""
+
+from __future__ import annotations
+
+import io
+import math
+from collections.abc import Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; ignores non-positive values defensively."""
+    logs = [math.log(v) for v in values if v > 0]
+    if not logs:
+        return float("nan")
+    return math.exp(sum(logs) / len(logs))
+
+
+def format_table(rows: Sequence[dict], headers: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned text table (stable column order)."""
+    if not rows:
+        return "(no rows)"
+    if headers is None:
+        headers = list(rows[0].keys())
+    table = [[_fmt(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in table)) for i, h in enumerate(headers)
+    ]
+    out = io.StringIO()
+    out.write("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)).rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in table:
+        out.write("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip() + "\n")
+    return out.getvalue()
+
+
+def to_csv(rows: Sequence[dict], headers: Sequence[str] | None = None) -> str:
+    """Render dict rows as CSV (the artifact scripts' output format)."""
+    if not rows:
+        return ""
+    if headers is None:
+        headers = list(rows[0].keys())
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(_fmt(row.get(h, "")) for h in headers))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,28 @@
+"""Training substrate: gradient-boosted trees and random forests.
+
+The paper trains its benchmark models with XGBoost; this package provides an
+offline, NumPy-only equivalent so that realistic ensembles (matched tree
+counts, depths and leaf-probability skew) can be produced without network
+access or native dependencies. The trainer is histogram-based (quantile
+binning + second-order gain), the same family of algorithm XGBoost's ``hist``
+method uses.
+"""
+
+from repro.training.gbdt import GBDTParams, train_gbdt
+from repro.training.losses import LogisticLoss, SoftmaxLoss, SquaredLoss, get_loss
+from repro.training.metrics import accuracy, logloss, rmse
+from repro.training.random_forest import RandomForestParams, train_random_forest
+
+__all__ = [
+    "GBDTParams",
+    "LogisticLoss",
+    "RandomForestParams",
+    "SoftmaxLoss",
+    "SquaredLoss",
+    "accuracy",
+    "get_loss",
+    "logloss",
+    "rmse",
+    "train_gbdt",
+    "train_random_forest",
+]

@@ -1,0 +1,78 @@
+"""Loss functions for gradient boosting (first and second order statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.forest.ensemble import sigmoid, softmax
+
+
+class SquaredLoss:
+    """Mean squared error for regression: L = (pred - y)^2 / 2."""
+
+    objective = "regression"
+    num_outputs = 1
+
+    def initial_score(self, y: np.ndarray) -> float:
+        """Best constant predictor (the mean)."""
+        return float(np.mean(y))
+
+    def gradients(self, raw: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row gradient and hessian at the current raw scores."""
+        return raw - y, np.ones_like(raw)
+
+
+class LogisticLoss:
+    """Binary cross-entropy on the logit scale; labels in {0, 1}."""
+
+    objective = "binary:logistic"
+    num_outputs = 1
+
+    def initial_score(self, y: np.ndarray) -> float:
+        """Log-odds of the base rate, clipped away from the degenerate cases."""
+        p = float(np.clip(np.mean(y), 1e-6, 1 - 1e-6))
+        return float(np.log(p / (1 - p)))
+
+    def gradients(self, raw: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        p = sigmoid(raw)
+        return p - y, np.maximum(p * (1 - p), 1e-12)
+
+
+class SoftmaxLoss:
+    """Multiclass cross-entropy; labels are integer class ids.
+
+    ``gradients`` operates on a raw-score matrix of shape ``(n, num_classes)``
+    and returns matrices of the same shape (one gradient column per class).
+    """
+
+    objective = "multiclass"
+
+    def __init__(self, num_classes: int) -> None:
+        if num_classes < 2:
+            raise ModelError("SoftmaxLoss requires num_classes >= 2")
+        self.num_classes = num_classes
+        self.num_outputs = num_classes
+
+    def initial_score(self, y: np.ndarray) -> float:
+        """Zero initial margin per class (uniform prior)."""
+        return 0.0
+
+    def gradients(self, raw: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        p = softmax(raw)
+        onehot = np.zeros_like(p)
+        onehot[np.arange(y.shape[0]), y.astype(np.int64)] = 1.0
+        grad = p - onehot
+        hess = np.maximum(2.0 * p * (1 - p), 1e-12)
+        return grad, hess
+
+
+def get_loss(objective: str, num_classes: int = 1):
+    """Look up a loss object by objective name."""
+    if objective == "regression":
+        return SquaredLoss()
+    if objective == "binary:logistic":
+        return LogisticLoss()
+    if objective == "multiclass":
+        return SoftmaxLoss(num_classes)
+    raise ModelError(f"unknown objective {objective!r}")

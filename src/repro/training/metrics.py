@@ -1,0 +1,33 @@
+"""Small evaluation metrics used by tests and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def logloss(y_true: np.ndarray, p_pred: np.ndarray, eps: float = 1e-12) -> float:
+    """Binary cross-entropy for probability predictions."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    p = np.clip(np.asarray(p_pred, dtype=np.float64), eps, 1 - eps)
+    return float(-np.mean(y_true * np.log(p) + (1 - y_true) * np.log(1 - p)))
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Classification accuracy. ``y_pred`` may be labels, probabilities
+    (binary, thresholded at 0.5) or a class-probability matrix (argmax)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_pred.ndim == 2:
+        labels = np.argmax(y_pred, axis=1)
+    elif y_pred.dtype.kind == "f" and ((y_pred >= 0) & (y_pred <= 1)).all():
+        labels = (y_pred >= 0.5).astype(np.int64)
+    else:
+        labels = y_pred
+    return float(np.mean(labels == y_true))

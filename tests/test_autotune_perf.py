@@ -1,0 +1,96 @@
+"""Unit tests for the autotuner, timer, and machine profiles."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import autotune, default_space, schedule_grid
+from repro.autotune.space import TuningSpace
+from repro.config import Schedule
+from repro.perf.machine import AMD_RYZEN_LIKE, INTEL_ROCKET_LAKE_LIKE, PROFILES
+from repro.perf.timer import measure, per_row_us
+
+
+class TestSpace:
+    def test_table2_grid_axes(self):
+        space = default_space()
+        assert space.tile_sizes == (1, 2, 4, 8)
+        assert space.interleaves == (2, 4, 8)
+        assert space.alphas == (0.05, 0.075, 0.1)
+
+    def test_grid_size_matches_enumeration(self):
+        space = default_space()
+        assert sum(1 for _ in schedule_grid(space)) == space.size()
+
+    def test_extended_space_is_larger(self):
+        assert len(default_space(extended=True).interleaves) > 3
+
+    def test_grid_respects_base(self):
+        base = Schedule(parallel=4)
+        for schedule in schedule_grid(TuningSpace(tile_sizes=(2,)), base):
+            assert schedule.parallel == 4
+
+    def test_alphas_only_for_hybrid(self):
+        space = TuningSpace(tilings=("basic",), tile_sizes=(2,), interleaves=(2,),
+                            pad_and_unroll=(True,), layouts=("sparse",))
+        schedules = list(schedule_grid(space))
+        assert len(schedules) == 1
+
+
+class TestAutotune:
+    def test_finds_working_config(self, trained_forest, test_rows):
+        space = TuningSpace(
+            tile_sizes=(1, 4), tilings=("basic",), pad_and_unroll=(True,),
+            interleaves=(8,), layouts=("sparse",),
+        )
+        result = autotune(trained_forest, test_rows[:64], space=space, repeats=1)
+        assert result.best_per_row_us > 0
+        assert len(result.log) == 2
+        got = result.best_predictor.raw_predict(test_rows[:32])
+        assert np.allclose(got, trained_forest.raw_predict(test_rows[:32]), rtol=1e-12)
+
+    def test_top_k_sorted(self, trained_forest, test_rows):
+        space = TuningSpace(
+            tile_sizes=(1, 2, 4), tilings=("basic",), pad_and_unroll=(True,),
+            interleaves=(4,), layouts=("sparse",),
+        )
+        result = autotune(trained_forest, test_rows[:32], space=space, repeats=1)
+        top = result.top(3)
+        costs = [c for _, c in top]
+        assert costs == sorted(costs)
+
+    def test_max_configs_limits_exploration(self, trained_forest, test_rows):
+        result = autotune(trained_forest, test_rows[:32], repeats=1, max_configs=3)
+        assert len(result.log) == 3
+
+
+class TestTimer:
+    def test_measure_returns_positive(self):
+        m = measure(lambda: sum(range(1000)), rows=10, repeats=2)
+        assert m.seconds > 0
+        assert m.per_row_us == pytest.approx(m.seconds / 10 * 1e6)
+
+    def test_min_of_repeats(self):
+        m = measure(lambda: None, rows=1, repeats=5)
+        assert m.seconds == min(m.all_seconds)
+
+    def test_per_row_us_helper(self):
+        assert per_row_us(lambda: None, rows=100, repeats=2) >= 0.0
+
+
+class TestMachineProfiles:
+    def test_two_profiles_registered(self):
+        assert set(PROFILES) == {"intel-rocket-lake-like", "amd-ryzen-like"}
+
+    def test_intel_has_cheaper_gather(self):
+        """The paper attributes Intel's edge to its gather implementation."""
+        assert (
+            INTEL_ROCKET_LAKE_LIKE.gather_cost_per_lane
+            < AMD_RYZEN_LIKE.gather_cost_per_lane
+        )
+
+    def test_intel_wider_vectors(self):
+        assert INTEL_ROCKET_LAKE_LIKE.vector_lanes_f64 > AMD_RYZEN_LIKE.vector_lanes_f64
+
+    def test_lane_computation(self):
+        assert INTEL_ROCKET_LAKE_LIKE.vector_lanes_f64 == 8
+        assert AMD_RYZEN_LIKE.vector_lanes_f64 == 4

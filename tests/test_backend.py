@@ -1,0 +1,212 @@
+"""Unit tests for codegen, the JIT, the interpreter, and the Predictor."""
+
+import numpy as np
+import pytest
+
+from repro.api import compile_model, predict
+from repro.backend.codegen import build_namespace, emit_module_source
+from repro.backend.interpreter import interpret_lir
+from repro.backend.jit import cache_size, compile_lir, compile_source
+from repro.backend.parallel import MulticoreSimulator, parallel_predict, row_blocks
+from repro.config import Schedule
+from repro.errors import CodegenError, ExecutionError
+from repro.hir.ir import build_hir
+from repro.lir.lowering import lower_mir_to_lir
+from repro.mir.lowering import lower_hir_to_mir
+from repro.mir.passes import run_mir_pipeline
+
+
+def lower(forest, schedule):
+    hir = build_hir(forest, schedule)
+    mir = run_mir_pipeline(lower_hir_to_mir(hir), hir)
+    return lower_mir_to_lir(mir, hir)
+
+
+class TestCodegen:
+    def test_source_contains_walk_ops(self, trained_forest):
+        lir = lower(trained_forest, Schedule())
+        source = emit_module_source(lir)
+        assert "def predict_block(rows, out):" in source
+        # The §V-A op sequence: loads, gather, compare, bit pack, LUT lookup.
+        assert "_th, idx" in source and "_fi, idx" in source
+        assert "cmp = feat < thr" in source
+        assert "0x0102040810204080" in source  # movemask analog at width 8
+        assert "_np.take(lut," in source
+
+    def test_unrolled_source_has_no_while(self, trained_forest):
+        lir = lower(trained_forest, Schedule(pad_and_unroll=True, pad_max_slack=99))
+        source = emit_module_source(lir)
+        assert "while" not in source
+
+    def test_loop_source_has_guard(self, trained_forest):
+        lir = lower(
+            trained_forest, Schedule(pad_and_unroll=False, peel_walk=False)
+        )
+        source = emit_module_source(lir)
+        assert "while act_r.size:" in source
+
+    def test_one_row_order_loops_rows(self, trained_forest):
+        lir = lower(trained_forest, Schedule(loop_order="one-row"))
+        assert "for i in range(B):" in emit_module_source(lir)
+
+    def test_namespace_has_buffers(self, trained_forest):
+        lir = lower(trained_forest, Schedule())
+        ns = build_namespace(lir)
+        group_ids = [g.group_id for g in lir.groups if not g.trivial]
+        assert all(f"g{gid}_th" in ns for gid in group_ids)
+        assert "lut" in ns
+
+    def test_array_layout_emits_arity_arithmetic(self, trained_forest):
+        lir = lower(trained_forest, Schedule(layout="array", tile_size=2))
+        assert "* 3 + ci + 1" in emit_module_source(lir)
+
+
+class TestJIT:
+    def test_compile_and_run(self, trained_forest, test_rows):
+        lir = lower(trained_forest, Schedule())
+        kernel, source = compile_lir(lir)
+        out = np.full((len(test_rows), 1), lir.base_score)
+        kernel(test_rows, out)
+        assert np.allclose(out[:, 0], trained_forest.raw_predict(test_rows))
+
+    def test_source_cache_reused(self, trained_forest):
+        before = cache_size()
+        lir = lower(trained_forest, Schedule())
+        compile_lir(lir)
+        mid = cache_size()
+        compile_lir(lir)  # same source -> no new cache entry
+        assert cache_size() == mid
+        assert mid >= before
+
+    def test_bad_source_raises_codegen_error(self):
+        with pytest.raises(CodegenError):
+            compile_source("def predict_block(:\n", {})
+
+    def test_missing_function_rejected(self):
+        with pytest.raises(CodegenError):
+            compile_source("x = 1\n", {})
+
+
+class TestInterpreter:
+    @pytest.mark.parametrize("layout", ["array", "sparse"])
+    @pytest.mark.parametrize("tile_size", [1, 4])
+    def test_matches_reference(self, trained_forest, test_rows, layout, tile_size):
+        lir = lower(trained_forest, Schedule(layout=layout, tile_size=tile_size))
+        got = interpret_lir(lir, test_rows[:32])[:, 0]
+        assert np.allclose(got, trained_forest.raw_predict(test_rows[:32]), rtol=1e-12)
+
+    def test_matches_compiled(self, deep_forest, test_rows):
+        predictor = compile_model(deep_forest, Schedule(pad_and_unroll=False))
+        got = interpret_lir(predictor.lir, test_rows[:16])[:, 0]
+        assert np.allclose(got, predictor.raw_predict(test_rows[:16]), rtol=1e-12)
+
+    def test_multiclass(self, multiclass_forest, test_rows):
+        lir = lower(multiclass_forest, Schedule())
+        got = interpret_lir(lir, test_rows[:16])
+        assert np.allclose(got, multiclass_forest.raw_predict(test_rows[:16]), rtol=1e-12)
+
+
+class TestPredictor:
+    def test_matches_reference(self, trained_forest, test_rows):
+        p = compile_model(trained_forest)
+        assert np.allclose(
+            p.raw_predict(test_rows), trained_forest.raw_predict(test_rows), rtol=1e-12
+        )
+
+    def test_objective_transform_applied(self, binary_forest, test_rows):
+        p = compile_model(binary_forest)
+        probs = p.predict(test_rows)
+        assert ((probs >= 0) & (probs <= 1)).all()
+        assert np.allclose(probs, binary_forest.predict(test_rows), rtol=1e-12)
+
+    def test_nan_rejected(self, trained_forest, test_rows):
+        p = compile_model(trained_forest)
+        bad = test_rows.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ExecutionError, match="NaN"):
+            p.raw_predict(bad)
+
+    def test_nan_check_can_be_disabled(self, trained_forest, test_rows):
+        p = compile_model(trained_forest, validate_inputs=False)
+        bad = test_rows.copy()
+        bad[0, 0] = np.nan
+        p.raw_predict(bad)  # undefined result, but must not raise
+
+    def test_wrong_width_rejected(self, trained_forest):
+        p = compile_model(trained_forest)
+        with pytest.raises(ExecutionError, match="rows"):
+            p.raw_predict(np.zeros((4, 3)))
+
+    def test_row_block_equivalent(self, trained_forest, test_rows):
+        whole = compile_model(trained_forest).raw_predict(test_rows)
+        blocked = compile_model(trained_forest, Schedule(row_block=17)).raw_predict(test_rows)
+        assert np.allclose(whole, blocked, rtol=1e-12)
+
+    def test_parallel_equivalent(self, trained_forest, test_rows):
+        serial = compile_model(trained_forest).raw_predict(test_rows)
+        parallel = compile_model(trained_forest, Schedule(parallel=4)).raw_predict(test_rows)
+        assert np.allclose(serial, parallel, rtol=1e-12)
+
+    def test_simulated_parallel(self, trained_forest, test_rows):
+        p = compile_model(trained_forest)
+        raw, seconds = p.predict_simulated_parallel(test_rows, cores=4)
+        assert seconds > 0
+        assert np.allclose(raw, trained_forest.raw_predict(test_rows), rtol=1e-12)
+
+    def test_introspection(self, trained_forest):
+        p = compile_model(trained_forest)
+        assert "predict_block" in p.generated_source
+        assert p.memory_bytes() > 0
+        assert "group" in p.dump_ir()
+
+    def test_convenience_predict(self, trained_forest, test_rows):
+        got = predict(trained_forest, test_rows)
+        assert np.allclose(got, trained_forest.predict(test_rows), rtol=1e-12)
+
+    def test_empty_batch(self, trained_forest):
+        p = compile_model(trained_forest)
+        out = p.raw_predict(np.zeros((0, trained_forest.num_features)))
+        assert out.shape == (0,)
+
+
+class TestParallelRuntime:
+    def test_row_blocks_cover(self):
+        blocks = row_blocks(100, 7)
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == 100
+        for (a, b), (c, d) in zip(blocks, blocks[1:]):
+            assert b == c
+
+    def test_row_blocks_more_threads_than_rows(self):
+        blocks = row_blocks(2, 8)
+        assert len(blocks) == 2
+
+    def test_parallel_predict_writes_disjoint(self):
+        def kernel(rows, out):
+            out[:] = rows.sum(axis=1, keepdims=True)
+
+        rows = np.arange(20, dtype=np.float64).reshape(10, 2)
+        out = np.zeros((10, 1))
+        parallel_predict(kernel, rows, out, num_threads=3)
+        assert np.allclose(out[:, 0], rows.sum(axis=1))
+
+    def test_simulator_deterministic_result(self):
+        def kernel(rows, out):
+            out[:] = 1.0
+
+        sim = MulticoreSimulator()
+        rows = np.zeros((64, 2))
+        out = np.zeros((64, 1))
+        _, seconds = sim.run(kernel, rows, out, cores=4)
+        assert (out == 1.0).all()
+        assert seconds > 0
+
+    def test_simulator_utilization_caps_cores(self):
+        sim = MulticoreSimulator(utilization=0.25)
+        calls = []
+
+        def kernel(rows, out):
+            calls.append(rows.shape[0])
+
+        sim.run(kernel, np.zeros((64, 1)), np.zeros((64, 1)), cores=16)
+        assert len(calls) == 4  # 16 * 0.25

@@ -1,0 +1,106 @@
+"""Unit tests for the baseline inference systems."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HummingbirdGEMMPredictor,
+    QuickScorerPredictor,
+    ScalarReferencePredictor,
+    TreelitePredictor,
+    XGBoostV09Predictor,
+    XGBoostV15Predictor,
+)
+from repro.errors import ModelError
+from repro.training.gbdt import GBDTParams, train_gbdt
+
+ALL_BASELINES = [
+    ScalarReferencePredictor,
+    XGBoostV15Predictor,
+    XGBoostV09Predictor,
+    TreelitePredictor,
+    HummingbirdGEMMPredictor,
+    QuickScorerPredictor,
+]
+
+
+@pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+class TestCorrectness:
+    def test_regression(self, baseline_cls, trained_forest, test_rows):
+        baseline = baseline_cls(trained_forest)
+        got = baseline.raw_predict(test_rows[:64])
+        assert np.allclose(got, trained_forest.raw_predict(test_rows[:64]), rtol=1e-12)
+
+    def test_multiclass(self, baseline_cls, multiclass_forest, test_rows):
+        if baseline_cls is ScalarReferencePredictor:
+            pytest.skip("scalar reference covered by regression test")
+        baseline = baseline_cls(multiclass_forest)
+        got = baseline.raw_predict(test_rows[:32])
+        assert got.shape == (32, 3)
+        assert np.allclose(got, multiclass_forest.raw_predict(test_rows[:32]), rtol=1e-12)
+
+    def test_deep_imbalanced(self, baseline_cls, deep_forest, test_rows):
+        if baseline_cls is QuickScorerPredictor and any(
+            t.num_leaves > 64 for t in deep_forest.trees
+        ):
+            pytest.skip("QuickScorer's documented 64-leaf cap")
+        baseline = baseline_cls(deep_forest)
+        got = baseline.raw_predict(test_rows[:32])
+        assert np.allclose(got, deep_forest.raw_predict(test_rows[:32]), rtol=1e-12)
+
+
+class TestTreelite:
+    def test_code_size_grows_with_model(self, regression_data):
+        X, y = regression_data
+        small = train_gbdt(X, y, GBDTParams(num_rounds=2, max_depth=3))
+        large = train_gbdt(X, y, GBDTParams(num_rounds=10, max_depth=5))
+        assert (
+            TreelitePredictor(large).code_size_chars
+            > TreelitePredictor(small).code_size_chars
+        )
+
+    def test_one_function_per_tree(self, trained_forest):
+        p = TreelitePredictor(trained_forest)
+        assert len(p.tree_funcs) == trained_forest.num_trees
+        assert p.source.count("def tree_") == trained_forest.num_trees
+
+
+class TestHummingbird:
+    def test_dense_and_sparse_agree(self, trained_forest, test_rows):
+        sparse = HummingbirdGEMMPredictor(trained_forest, use_sparse=True)
+        dense = HummingbirdGEMMPredictor(trained_forest, use_sparse=False)
+        assert np.allclose(
+            sparse.raw_predict(test_rows[:32]), dense.raw_predict(test_rows[:32])
+        )
+
+    def test_work_independent_of_path(self, trained_forest):
+        """The GEMM strategy evaluates every internal node: matrix B has one
+        threshold per internal node of the whole ensemble."""
+        p = HummingbirdGEMMPredictor(trained_forest)
+        total_internal = sum(t.internal_nodes().size for t in trained_forest.trees)
+        assert p.B.shape == (total_internal,)
+
+
+class TestQuickScorer:
+    def test_leaf_cap_enforced(self, regression_data):
+        X, y = regression_data
+        big = train_gbdt(X, y, GBDTParams(num_rounds=1, max_depth=8, reg_lambda=1e-6))
+        if max(t.num_leaves for t in big.trees) > 64:
+            with pytest.raises(ModelError, match="64"):
+                QuickScorerPredictor(big)
+        else:
+            QuickScorerPredictor(big)  # model stayed small; still valid
+
+    def test_boundary_values(self, trained_forest):
+        """Rows exactly at thresholds exercise the false-node search."""
+        p = QuickScorerPredictor(trained_forest)
+        thresholds = trained_forest.trees[0].threshold[
+            trained_forest.trees[0].internal_nodes()
+        ]
+        row = np.zeros((1, trained_forest.num_features))
+        row[0, : len(thresholds[: trained_forest.num_features])] = thresholds[
+            : trained_forest.num_features
+        ]
+        assert np.allclose(
+            p.raw_predict(row), trained_forest.raw_predict(row), rtol=1e-12
+        )

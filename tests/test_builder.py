@@ -1,0 +1,93 @@
+"""Unit tests for TreeBuilder."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.forest.builder import TreeBuilder
+
+
+class TestBuilder:
+    def test_minimal_leaf(self):
+        b = TreeBuilder()
+        b.leaf(5.0)
+        tree = b.build()
+        assert tree.num_nodes == 1
+        assert tree.value[0] == 5.0
+
+    def test_three_node_tree(self):
+        b = TreeBuilder()
+        root = b.internal(feature=2, threshold=1.5)
+        b.leaf(1.0, parent=root, side="left")
+        b.leaf(2.0, parent=root, side="right")
+        tree = b.build()
+        assert tree.num_nodes == 3
+        assert tree.feature[0] == 2
+        assert tree.threshold[0] == 1.5
+
+    def test_missing_child_rejected(self):
+        b = TreeBuilder()
+        root = b.internal(feature=0, threshold=0.0)
+        b.leaf(1.0, parent=root, side="left")
+        with pytest.raises(ModelError, match="missing a child"):
+            b.build()
+
+    def test_double_attach_rejected(self):
+        b = TreeBuilder()
+        root = b.internal(feature=0, threshold=0.0)
+        b.leaf(1.0, parent=root, side="left")
+        with pytest.raises(ModelError, match="already set"):
+            b.leaf(2.0, parent=root, side="left")
+
+    def test_bad_side_rejected(self):
+        b = TreeBuilder()
+        root = b.internal(feature=0, threshold=0.0)
+        with pytest.raises(ModelError, match="side"):
+            b.leaf(1.0, parent=root, side="middle")
+
+    def test_second_root_rejected(self):
+        b = TreeBuilder()
+        b.internal(feature=0, threshold=0.0)
+        with pytest.raises(ModelError, match="parent"):
+            b.internal(feature=1, threshold=0.0)
+
+    def test_probabilities_recorded(self):
+        b = TreeBuilder()
+        root = b.internal(feature=0, threshold=0.0, probability=1.0)
+        b.leaf(1.0, parent=root, side="left", probability=0.7)
+        b.leaf(2.0, parent=root, side="right", probability=0.3)
+        tree = b.build()
+        assert tree.node_probability is not None
+        assert tree.node_probability[0] == 1.0
+
+    def test_no_probabilities_means_none(self):
+        b = TreeBuilder()
+        b.leaf(1.0)
+        assert b.build().node_probability is None
+
+
+class TestFromNested:
+    def test_nested_structure(self):
+        tree = TreeBuilder.from_nested(
+            {
+                "feature": 0,
+                "threshold": 0.0,
+                "left": {"value": -1.0},
+                "right": {
+                    "feature": 1,
+                    "threshold": 2.0,
+                    "left": {"value": 0.0},
+                    "right": {"value": 1.0},
+                },
+            }
+        )
+        assert tree.num_nodes == 5
+        assert tree.max_depth == 2
+
+    def test_nested_single_leaf(self):
+        tree = TreeBuilder.from_nested({"value": 3.5})
+        assert tree.num_nodes == 1
+
+    def test_class_and_tree_ids(self):
+        tree = TreeBuilder.from_nested({"value": 1.0}, class_id=2, tree_id=7)
+        assert tree.class_id == 2
+        assert tree.tree_id == 7

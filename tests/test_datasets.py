@@ -1,0 +1,119 @@
+"""Unit tests for synthetic datasets and the Table-I benchmark registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BENCHMARKS,
+    fresh_rows,
+    generate_dataset,
+    get_benchmark,
+    load_benchmark_model,
+    train_benchmark,
+)
+from repro.errors import ModelError
+from repro.forest.statistics import count_leaf_biased
+
+
+class TestGenerator:
+    def test_shapes(self):
+        X, y = generate_dataset(100, 5)
+        assert X.shape == (100, 5)
+        assert y.shape == (100,)
+
+    @pytest.mark.parametrize("kind", ["normal", "uniform", "onehot", "skewed", "mixed"])
+    def test_feature_kinds(self, kind):
+        X, _ = generate_dataset(50, 6, feature_kind=kind, seed=1)
+        assert np.isfinite(X).all()
+
+    def test_onehot_is_binary(self):
+        X, _ = generate_dataset(200, 10, feature_kind="onehot")
+        assert set(np.unique(X)) <= {0.0, 1.0}
+
+    def test_binary_labels(self):
+        _, y = generate_dataset(100, 5, objective="binary:logistic")
+        assert set(np.unique(y)) <= {0.0, 1.0}
+
+    def test_multiclass_labels(self):
+        _, y = generate_dataset(300, 5, objective="multiclass", num_classes=4)
+        assert set(np.unique(y)) == {0.0, 1.0, 2.0, 3.0}
+
+    def test_deterministic_by_seed(self):
+        a = generate_dataset(50, 4, seed=7)[0]
+        b = generate_dataset(50, 4, seed=7)[0]
+        assert np.array_equal(a, b)
+
+    def test_prototypes_create_duplicates(self):
+        X, _ = generate_dataset(
+            400, 6, prototype_fraction=0.9, prototype_count=4, seed=0
+        )
+        _, counts = np.unique(X, axis=0, return_counts=True)
+        assert counts.max() > 10  # heavy hitters exist
+
+    def test_weighted_mode_returns_weights(self):
+        X, y, w = generate_dataset(
+            100, 6, prototype_fraction=0.9, prototype_count=4, weighted=True, seed=0
+        )
+        assert X.shape[0] == y.shape[0] == w.shape[0]
+        assert X.shape[0] > 100  # diffuse rows + prototype clusters
+        # Prototype mass dominates: total weight ~ rows / (1 - q).
+        assert w.sum() == pytest.approx(100 / 0.1, rel=0.01)
+
+    def test_weighted_mode_without_prototypes(self):
+        X, y, w = generate_dataset(50, 4, weighted=True)
+        assert (w == 1.0).all()
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ModelError):
+            generate_dataset(0, 5)
+        with pytest.raises(ModelError):
+            generate_dataset(10, 5, feature_kind="categorical")
+        with pytest.raises(ModelError):
+            generate_dataset(10, 5, prototype_fraction=1.5)
+        with pytest.raises(ModelError):
+            generate_dataset(10, 5, objective="multiclass", num_classes=1)
+
+
+class TestRegistry:
+    def test_all_table1_benchmarks_present(self):
+        assert set(BENCHMARKS) == {
+            "abalone", "airline", "airline-ohe", "covtype",
+            "epsilon", "letter", "higgs", "year",
+        }
+
+    def test_table1_parameters(self):
+        spec = get_benchmark("abalone")
+        assert (spec.num_features, spec.num_trees, spec.max_depth) == (8, 1000, 7)
+        spec = get_benchmark("epsilon")
+        assert (spec.num_features, spec.num_trees, spec.max_depth) == (2000, 100, 9)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ModelError):
+            get_benchmark("mnist")
+
+    def test_train_scaled_model(self):
+        forest, X = train_benchmark("airline", scale=0.05, seed=0)
+        assert forest.num_trees == 5
+        assert forest.max_depth <= 9
+        assert forest.trees[0].node_probability is not None
+
+    def test_multiclass_benchmark_rounds(self):
+        forest, _ = train_benchmark("letter", scale=0.02, seed=0)
+        assert forest.num_classes == 26
+        assert forest.num_trees == 2 * 26
+
+    def test_leaf_bias_character(self):
+        """Unbiased benchmarks must stay unbiased even at small scale."""
+        forest, _ = train_benchmark("year", scale=0.05, seed=0)
+        assert count_leaf_biased(forest, 0.075, 0.9) == 0
+
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        f1, _ = load_benchmark_model("airline", scale=0.03, seed=1)
+        f2, _ = load_benchmark_model("airline", scale=0.03, seed=1)
+        rows = fresh_rows("airline", 16)
+        assert np.allclose(f1.raw_predict(rows), f2.raw_predict(rows))
+
+    def test_fresh_rows_shape(self):
+        rows = fresh_rows("higgs", 32)
+        assert rows.shape == (32, 28)

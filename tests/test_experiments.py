@@ -1,0 +1,119 @@
+"""Tests for the experiment harness and reporting (fast, tiny scales)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig3, fig7, fig11, fig13, memory_footprint, microarch, table1, table2
+from repro.experiments.harness import ExperimentConfig, default_scale
+from repro.datasets.registry import get_benchmark
+from repro.reporting import format_table, geomean, to_csv
+
+TINY = ExperimentConfig(batch_size=128, repeats=1, scale=0.02)
+
+
+class TestReporting:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0]) == pytest.approx(4.0)
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "bb": 2.5}, {"a": 10, "bb": 0.25}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_empty(self):
+        assert "no rows" in format_table([])
+
+    def test_to_csv(self):
+        csv = to_csv([{"x": 1, "y": "a"}])
+        assert csv.splitlines() == ["x,y", "1,a"]
+
+
+class TestHarness:
+    def test_default_scale_by_size(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert default_scale(get_benchmark("abalone")) == 0.1
+        assert default_scale(get_benchmark("higgs")) == 0.3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert default_scale(get_benchmark("abalone")) == 0.5
+
+
+class TestTableExperiments:
+    def test_table1_rows(self):
+        rows = table1.run(TINY, names=["airline", "year"])
+        assert [r["dataset"] for r in rows] == ["airline", "year"]
+        assert all(r["#trees"] > 0 for r in rows)
+        # year must stay unbiased even at tiny scale.
+        year = rows[1]
+        assert year["#leaf-biased"] == 0
+
+    def test_table2_covers_all_axes(self):
+        rows = table2.run()
+        names = [r["optimization"] for r in rows]
+        assert "Tile size" in names
+        assert "Tree walk interleaving" in names
+
+    def test_fig3_profile_shape(self):
+        rows = fig3.run(TINY, names=("year",))
+        assert len(rows) == 3  # three coverage targets
+        for row in rows:
+            # Monotone in x: more leaves allowed -> more trees qualify.
+            xs = [v for k, v in row.items() if k.startswith("x=")]
+            assert xs == sorted(xs)
+            assert xs[-1] == 1.0  # every tree covers with all leaves
+
+
+class TestPerformanceExperiments:
+    def test_fig7_speedup_positive(self):
+        rows = fig7.run(
+            TINY, names=["year"], multicore=False, machine_models=False, tune=False
+        )
+        assert rows[0]["speedup (host)"] > 1.0
+        assert rows[-1]["dataset"] == "GEOMEAN"
+
+    def test_fig7_multicore_beats_single(self):
+        # Parallel chunks must be big enough that per-call overhead does not
+        # swamp the simulated cores; use a realistic batch and best-of-3
+        # timing (the multicore model measures wall-clock chunks).
+        config = ExperimentConfig(batch_size=2048, repeats=3, scale=0.05)
+        rows = fig7.run(
+            config, names=["year"], multicore=True, machine_models=False, tune=False
+        )
+        assert rows[0]["speedup (16-core sim)"] > rows[0]["speedup (host)"]
+
+    def test_fig11_shape(self):
+        rows = fig11.run(TINY, names=["year"])
+        # Unbiased benchmark: probability tiling must not change results much.
+        year = rows[0]
+        assert 0.5 < year["prob. gain"] < 2.0
+        assert year["tiling + interleave/unroll"] > 0
+
+    def test_fig13_scaling_monotone(self):
+        # repeats=3: the multicore model times wall-clock chunks, so a busy
+        # host needs best-of-N to see the true scaling.
+        config = ExperimentConfig(batch_size=2048, repeats=3, scale=0.05)
+        rows = fig13.run(config, names=("year",), core_counts=(1, 4, 16), tune=False)
+        year = rows[0]
+        assert year["16 core"] > year["1 core"]
+
+    def test_memory_footprint_rows(self):
+        rows = memory_footprint.run(TINY, names=["airline"])
+        airline = rows[0]
+        assert airline["array/scalar"] > 1.0
+        assert airline["array/sparse"] > 1.0
+
+    def test_microarch_rows(self):
+        rows = microarch.run(TINY, names=("higgs",))
+        variants = {r["variant"] for r in rows}
+        assert variants == {"OneRow", "OneTree", "Vector", "Interleaved", "Treelite"}
+        for row in rows:
+            total = (
+                row["retiring%"] + row["frontend%"]
+                + row["backend-mem%"] + row["backend-core%"]
+            )
+            assert total == pytest.approx(100.0, abs=0.5)

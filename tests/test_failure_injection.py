@@ -1,0 +1,171 @@
+"""Failure-injection and edge-case tests across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.api import compile_model
+from repro.backend.interpreter import interpret_lir
+from repro.config import Schedule
+from repro.errors import ExecutionError, ModelError
+from repro.forest.builder import TreeBuilder
+from repro.forest.ensemble import Forest
+from repro.hir.ir import build_hir
+from repro.lir.lowering import lower_mir_to_lir
+from repro.mir.lowering import lower_hir_to_mir
+from repro.mir.passes import run_mir_pipeline
+
+
+def leaf_only_forest(values=(1.0, 2.0)):
+    trees = []
+    for v in values:
+        b = TreeBuilder()
+        b.leaf(v)
+        trees.append(b.build())
+    return Forest(trees, num_features=3)
+
+
+class TestDegenerateModels:
+    def test_all_leaf_forest_compiles(self):
+        forest = leaf_only_forest()
+        predictor = compile_model(forest)
+        out = predictor.raw_predict(np.zeros((4, 3)))
+        assert np.allclose(out, 3.0)
+
+    def test_mixed_leaf_and_real_trees(self, rng):
+        from conftest import random_tree
+
+        b = TreeBuilder()
+        b.leaf(0.5)
+        trees = [b.build(), random_tree(rng, max_depth=4, num_features=3)]
+        forest = Forest(trees, num_features=3)
+        rows = rng.normal(size=(20, 3))
+        predictor = compile_model(forest)
+        assert np.allclose(predictor.raw_predict(rows), forest.raw_predict(rows), rtol=1e-12)
+
+    def test_single_tree_single_split(self):
+        b = TreeBuilder()
+        root = b.internal(0, 0.0)
+        b.leaf(-1.0, parent=root, side="left")
+        b.leaf(1.0, parent=root, side="right")
+        forest = Forest([b.build()], num_features=1)
+        for schedule in (Schedule(), Schedule.scalar_baseline(), Schedule(tile_size=4)):
+            predictor = compile_model(forest, schedule)
+            out = predictor.raw_predict(np.array([[-5.0], [5.0]]))
+            assert np.array_equal(out, [-1.0, 1.0])
+
+    def test_extreme_thresholds(self):
+        """Thresholds at float extremes must not break speculation padding."""
+        b = TreeBuilder()
+        root = b.internal(0, 1e308)
+        b.leaf(1.0, parent=root, side="left")
+        b.leaf(2.0, parent=root, side="right")
+        forest = Forest([b.build()], num_features=1)
+        predictor = compile_model(forest)
+        out = predictor.raw_predict(np.array([[0.0], [np.finfo(np.float64).max]]))
+        assert np.array_equal(out, [1.0, 2.0])
+
+    def test_deep_chain_model(self):
+        """A pathological 30-deep chain stresses padding and array budget."""
+        from test_tiling import chain_tree
+
+        tree = chain_tree(30)
+        forest = Forest([tree], num_features=1)
+        rows = np.linspace(-40, 5, 32)[:, None]
+        want = forest.raw_predict(rows)
+        # Sparse layout handles any depth.
+        predictor = compile_model(forest, Schedule(layout="sparse", pad_max_slack=999))
+        assert np.allclose(predictor.raw_predict(rows), want, rtol=1e-12)
+
+
+class TestCorruptState:
+    def _lir(self, forest, schedule=None):
+        hir = build_hir(forest, schedule or Schedule())
+        return lower_mir_to_lir(run_mir_pipeline(lower_hir_to_mir(hir), hir), hir)
+
+    def test_interpreter_detects_cycle(self, trained_forest):
+        lir = self._lir(trained_forest, Schedule(layout="sparse"))
+        layout = next(g.layout for g in lir.groups if not g.trivial)
+        # Point every tile's children back at the low tiles: the walk can
+        # never reach a leaf and must not spin forever.
+        layout.child_base[0, :] = 0
+        with pytest.raises(ExecutionError, match="terminate"):
+            interpret_lir(lir, np.zeros((1, trained_forest.num_features)))
+
+    def test_interpreter_detects_empty_slot(self, trained_forest):
+        lir = self._lir(trained_forest, Schedule(layout="array", tile_size=2))
+        layout = next(g.layout for g in lir.groups if not g.trivial)
+        layout.shape_ids[0, :] = -2
+        with pytest.raises(ExecutionError, match="empty"):
+            interpret_lir(lir, np.zeros((1, trained_forest.num_features)))
+
+
+class TestInputHandling:
+    def test_float32_rows_accepted(self, trained_forest, test_rows):
+        predictor = compile_model(trained_forest)
+        got32 = predictor.raw_predict(test_rows.astype(np.float32))
+        got64 = predictor.raw_predict(test_rows.astype(np.float32).astype(np.float64))
+        assert np.array_equal(got32, got64)
+
+    def test_noncontiguous_rows_accepted(self, trained_forest, test_rows):
+        predictor = compile_model(trained_forest)
+        strided = np.asfortranarray(test_rows)
+        assert np.allclose(
+            predictor.raw_predict(strided), predictor.raw_predict(test_rows), rtol=1e-12
+        )
+
+    def test_list_input_accepted(self, trained_forest):
+        predictor = compile_model(trained_forest)
+        rows = [[0.0] * trained_forest.num_features] * 3
+        assert predictor.raw_predict(rows).shape == (3,)
+
+    def test_inf_inputs_allowed(self, trained_forest):
+        """+inf rows push every predicate false (x < t fails): legal."""
+        predictor = compile_model(trained_forest)
+        rows = np.full((2, trained_forest.num_features), np.inf)
+        want = trained_forest.raw_predict(rows)
+        assert np.allclose(predictor.raw_predict(rows), want, rtol=1e-12)
+
+    def test_neg_inf_inputs_allowed(self, trained_forest):
+        predictor = compile_model(trained_forest)
+        rows = np.full((2, trained_forest.num_features), -np.inf)
+        want = trained_forest.raw_predict(rows)
+        assert np.allclose(predictor.raw_predict(rows), want, rtol=1e-12)
+
+
+class TestForestEdgeCases:
+    def test_duplicate_feature_thresholds(self):
+        """Identical (feature, threshold) on a path is legal and must route
+        deterministically."""
+        tree = TreeBuilder.from_nested(
+            {
+                "feature": 0, "threshold": 1.0,
+                "left": {
+                    "feature": 0, "threshold": 1.0,
+                    "left": {"value": 1.0}, "right": {"value": 2.0},
+                },
+                "right": {"value": 3.0},
+            }
+        )
+        forest = Forest([tree], num_features=1)
+        predictor = compile_model(forest)
+        # x < 1 goes left twice -> leaf 1; x >= 1 -> leaf 3; leaf 2 unreachable.
+        out = predictor.raw_predict(np.array([[0.0], [1.0], [2.0]]))
+        assert np.array_equal(out, [1.0, 3.0, 3.0])
+
+    def test_save_load_compile_roundtrip(self, trained_forest, test_rows, tmp_path):
+        path = str(tmp_path / "model.json")
+        trained_forest.save(path)
+        clone = Forest.load(path)
+        a = compile_model(trained_forest).raw_predict(test_rows)
+        b = compile_model(clone).raw_predict(test_rows)
+        assert np.allclose(a, b, rtol=1e-12)
+
+    def test_probabilityless_model_compiles_with_hybrid(self, rng):
+        from conftest import random_forest_model
+
+        forest = random_forest_model(rng, num_trees=3)
+        for tree in forest.trees:
+            tree.node_probability = None
+        predictor = compile_model(forest, Schedule(tiling="hybrid"))
+        rows = rng.normal(size=(10, forest.num_features))
+        assert np.allclose(predictor.raw_predict(rows), forest.raw_predict(rows), rtol=1e-12)

@@ -1,0 +1,122 @@
+"""Integration tests: the full pipeline across the schedule grid and on
+realistic benchmark models."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.api import compile_model
+from repro.backend.interpreter import interpret_lir
+from repro.baselines import (
+    HummingbirdGEMMPredictor,
+    TreelitePredictor,
+    XGBoostV15Predictor,
+)
+from repro.config import Schedule
+from repro.datasets import fresh_rows, train_benchmark
+
+
+GRID = list(
+    itertools.product(
+        (1, 4, 8),                     # tile size
+        ("basic", "hybrid"),           # tiling
+        ("one-tree", "one-row"),       # loop order
+        (True, False),                 # pad_and_unroll
+        (1, 8),                        # interleave
+        ("array", "sparse"),           # layout
+    )
+)
+
+
+class TestScheduleGridEquivalence:
+    @pytest.mark.parametrize("nt,tiling,order,pad,interleave,layout", GRID)
+    def test_grid_point(
+        self, trained_forest, test_rows, nt, tiling, order, pad, interleave, layout
+    ):
+        schedule = Schedule(
+            tile_size=nt,
+            tiling=tiling,
+            loop_order=order,
+            pad_and_unroll=pad,
+            interleave=interleave,
+            layout=layout,
+        )
+        predictor = compile_model(trained_forest, schedule)
+        got = predictor.raw_predict(test_rows[:48])
+        want = trained_forest.raw_predict(test_rows[:48])
+        assert np.allclose(got, want, rtol=1e-12, atol=1e-12)
+
+
+class TestDeepModels:
+    @pytest.mark.parametrize("layout", ["array", "sparse"])
+    @pytest.mark.parametrize("pad", [True, False])
+    def test_imbalanced_model(self, deep_forest, test_rows, layout, pad):
+        schedule = Schedule(layout=layout, pad_and_unroll=pad)
+        predictor = compile_model(deep_forest, schedule)
+        got = predictor.raw_predict(test_rows)
+        assert np.allclose(got, deep_forest.raw_predict(test_rows), rtol=1e-12)
+
+
+class TestBenchmarkModels:
+    """End-to-end on (scaled) Table-I benchmark models."""
+
+    @pytest.mark.parametrize("name", ["airline", "higgs", "year"])
+    def test_compiled_vs_baselines(self, name):
+        forest, _ = train_benchmark(name, scale=0.05, seed=0)
+        rows = fresh_rows(name, 64)
+        want = forest.raw_predict(rows)
+        compiled = compile_model(forest).raw_predict(rows)
+        assert np.allclose(compiled, want, rtol=1e-12)
+        for cls in (XGBoostV15Predictor, TreelitePredictor, HummingbirdGEMMPredictor):
+            assert np.allclose(cls(forest).raw_predict(rows), want, rtol=1e-12)
+
+    def test_multiclass_benchmark(self):
+        forest, _ = train_benchmark("letter", scale=0.01, seed=0)
+        rows = fresh_rows("letter", 32)
+        predictor = compile_model(forest)
+        assert np.allclose(
+            predictor.raw_predict(rows), forest.raw_predict(rows), rtol=1e-12
+        )
+        probs = predictor.predict(rows)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_leaf_biased_benchmark_probability_tiling(self):
+        """Hybrid tiling on a leaf-biased model must shorten expected walks
+        without changing predictions."""
+        forest, _ = train_benchmark("abalone", scale=0.02, seed=0)
+        rows = fresh_rows("abalone", 64)
+        want = forest.raw_predict(rows)
+        base = Schedule(tiling="basic", pad_and_unroll=False, peel_walk=False)
+        for tiling in ("basic", "hybrid", "probability"):
+            predictor = compile_model(forest, base.with_(tiling=tiling))
+            assert np.allclose(predictor.raw_predict(rows), want, rtol=1e-12)
+
+
+class TestCompilerPipelineConsistency:
+    def test_interpreter_codegen_identical(self, deep_forest, test_rows):
+        """Interpreter and generated code share buffers: every walk must
+        select the same leaves, so results agree to within the one-ulp
+        accumulation-order difference of the matmul reduction."""
+        for layout in ("array", "sparse"):
+            predictor = compile_model(deep_forest, Schedule(layout=layout))
+            compiled = predictor.raw_predict(test_rows[:16])
+            interpreted = interpret_lir(predictor.lir, test_rows[:16])[:, 0]
+            assert np.allclose(compiled, interpreted, rtol=1e-14, atol=0)
+
+    def test_pass_log_records_pipeline(self, trained_forest):
+        predictor = compile_model(trained_forest)
+        log = predictor.lir.pass_log
+        assert "lower_hir_to_mir" in log
+        assert any(entry.startswith("interleave") for entry in log)
+        assert "peel_and_unroll" in log
+        assert "lower_mir_to_lir" in log
+
+    def test_schedules_share_code_cache(self, trained_forest, multiclass_forest):
+        """Different models with the same schedule may share generated code
+        only when sources match; compilation must never cross-contaminate."""
+        a = compile_model(trained_forest)
+        b = compile_model(multiclass_forest)
+        rows = np.random.default_rng(0).normal(size=(8, trained_forest.num_features))
+        assert a.raw_predict(rows).shape == (8,)
+        assert b.raw_predict(rows).shape == (8, 3)

@@ -1,0 +1,150 @@
+"""Unit tests for the array and sparse in-memory layouts (Section V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.config import Schedule
+from repro.errors import LayoutError
+from repro.forest.builder import TreeBuilder
+from repro.hir.padding import pad_to_uniform_depth
+from repro.hir.tiling import ShapeRegistry, TiledTree, basic_tiling
+from repro.lir.layout.array_layout import EMPTY_SLOT, LEAF_SLOT, build_array_layout
+from repro.lir.layout.sparse_layout import build_sparse_layout
+from repro.lir.memory import model_memory_report
+
+from conftest import random_tree
+from test_tiling import chain_tree, complete_tree
+
+
+def make_layout(trees, nt, kind, pad=False):
+    tiled = [TiledTree.from_tiling(t, basic_tiling(t, nt), nt) for t in trees]
+    if pad:
+        for t in tiled:
+            pad_to_uniform_depth(t)
+    reg = ShapeRegistry(nt)
+    idx = list(range(len(tiled)))
+    cls = np.zeros(len(tiled), dtype=np.int32)
+    build = build_array_layout if kind == "array" else build_sparse_layout
+    return build(tiled, idx, cls, reg), tiled, reg
+
+
+class TestArrayLayout:
+    def test_positional_indexing(self):
+        tree = complete_tree(2)
+        layout, tiled, _ = make_layout([tree], 1, "array")
+        nt1_arity = 2
+        # Root at slot 0, children at 1 and 2, grandchildren at 3..6.
+        assert layout.num_slots == 7
+        assert layout.shape_ids[0, 0] >= 0
+        assert (layout.shape_ids[0, 3:] == LEAF_SLOT).all()
+
+    def test_empty_slots_for_incomplete_trees(self):
+        layout, _, _ = make_layout([chain_tree(4)], 1, "array")
+        assert (layout.shape_ids == EMPTY_SLOT).any()
+
+    def test_padding_fill_is_speculation_safe(self, rng):
+        layout, _, _ = make_layout([random_tree(rng, max_depth=5)], 4, "array")
+        filled = layout.shape_ids >= 0
+        # Unused node positions inside real tiles must compare true (x < inf).
+        assert np.isinf(layout.thresholds[~filled]).all() or (~filled).sum() == 0
+
+    def test_leaf_values_stored(self):
+        b = TreeBuilder()
+        root = b.internal(0, 0.0)
+        b.leaf(5.0, parent=root, side="left")
+        b.leaf(7.0, parent=root, side="right")
+        layout, _, _ = make_layout([b.build()], 1, "array")
+        stored = sorted(layout.leaf_values[0, layout.shape_ids[0] == LEAF_SLOT])
+        assert stored == [5.0, 7.0]
+
+    def test_group_stacking_pads_to_max(self, rng):
+        trees = [random_tree(rng, max_depth=3), random_tree(rng, max_depth=6)]
+        layout, _, _ = make_layout(trees, 2, "array")
+        assert layout.thresholds.shape[0] == 2
+
+    def test_slot_budget_enforced(self):
+        with pytest.raises(LayoutError, match="slots"):
+            tiled = [TiledTree.from_tiling(chain_tree(12), basic_tiling(chain_tree(12), 1), 1)]
+            build_array_layout(
+                tiled, [0], np.zeros(1, dtype=np.int32), ShapeRegistry(1), max_slots=10
+            )
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(LayoutError):
+            build_array_layout([], [], np.zeros(0), ShapeRegistry(2))
+
+    def test_nbytes_positive(self, rng):
+        layout, _, _ = make_layout([random_tree(rng, max_depth=4)], 2, "array")
+        assert layout.nbytes() > 0
+
+
+class TestSparseLayout:
+    def test_no_empty_slots(self, rng):
+        """Sparse tiles are dense: every record is a real (or hop) tile."""
+        layout, tiled, _ = make_layout([random_tree(rng, max_depth=6)], 4, "sparse")
+        n = int(layout.num_tiles[0])
+        assert (layout.child_base[0, :n] != 0).any() or n == 1
+
+    def test_children_contiguous(self, rng):
+        """Non-leaf children blocks must be dense and in range."""
+        layout, _, _ = make_layout([random_tree(rng, max_depth=6)], 4, "sparse")
+        n = int(layout.num_tiles[0])
+        for t in range(n):
+            base = int(layout.child_base[0, t])
+            if base >= 0:
+                assert base > t  # BFS order: children come after parents
+                assert base < n
+
+    def test_leaf_pointers_in_range(self, rng):
+        layout, _, _ = make_layout([random_tree(rng, max_depth=6)], 4, "sparse")
+        n = int(layout.num_tiles[0])
+        leaves = int(layout.num_leaves[0])
+        for t in range(n):
+            base = int(layout.child_base[0, t])
+            if base < 0:
+                assert 0 <= -base - 1 < leaves
+
+    def test_all_leaf_values_present(self, rng):
+        tree = random_tree(rng, max_depth=5)
+        layout, _, _ = make_layout([tree], 4, "sparse")
+        stored = set(np.round(layout.leaves[0, : int(layout.num_leaves[0])], 9))
+        expected = set(np.round(tree.value[tree.leaves()], 9))
+        assert expected <= stored
+
+    def test_hops_added_for_mixed_children(self):
+        # A chain tree at tile size 1 has mixed children everywhere: each
+        # internal node has one leaf and one internal child.
+        layout, _, _ = make_layout([chain_tree(5)], 1, "sparse")
+        assert layout.hops_added > 0
+
+    def test_no_hops_for_complete_tree(self):
+        layout, _, _ = make_layout([complete_tree(3)], 1, "sparse")
+        assert layout.hops_added == 0
+
+    def test_single_leaf_tree(self):
+        b = TreeBuilder()
+        b.leaf(3.0)
+        layout, _, _ = make_layout([b.build()], 4, "sparse")
+        assert layout.root_leaf[0]
+        assert layout.leaves[0, 0] == 3.0
+
+    def test_sparse_smaller_than_array_when_padded(self, rng):
+        trees = [random_tree(rng, max_depth=7, leaf_prob=0.2) for _ in range(3)]
+        arr, _, _ = make_layout(trees, 8, "array")
+        sp, _, _ = make_layout(trees, 8, "sparse")
+        assert sp.nbytes() < arr.nbytes()
+
+
+class TestMemoryReport:
+    def test_section_vb2_shape(self, deep_forest):
+        """Section V-B2: array layout bloats well past scalar; sparse
+        recovers most of it (small multiple of the scalar footprint)."""
+        report = model_memory_report(deep_forest, tile_size=8)
+        assert report.array_bloat > 2.0
+        assert report.sparse_vs_array > 1.5
+        assert report.sparse_overhead < report.array_bloat / 2
+
+    def test_report_fields(self, trained_forest):
+        report = model_memory_report(trained_forest, tile_size=4)
+        assert report.scalar_bytes > 0
+        assert report.tile_size == 4

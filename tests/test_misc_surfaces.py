@@ -1,0 +1,95 @@
+"""Coverage for smaller public surfaces: dumps, helpers, harness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.api import compile_model
+from repro.config import Schedule
+from repro.datasets.registry import fresh_rows, mixed_rows
+from repro.experiments.harness import paired_per_row_us
+from repro.hir.ir import build_hir
+from repro.lir.ir import WALK_STEP_OPS
+from repro.lir.lowering import lower_mir_to_lir
+from repro.mir.lowering import lower_hir_to_mir
+from repro.mir.passes import run_mir_pipeline
+from repro.perf.timer import measure
+
+
+class TestDumps:
+    def _lir(self, forest, schedule=None):
+        hir = build_hir(forest, schedule or Schedule())
+        return lower_mir_to_lir(run_mir_pipeline(lower_hir_to_mir(hir), hir), hir)
+
+    def test_lir_dump_lists_groups_and_ops(self, trained_forest):
+        lir = self._lir(trained_forest)
+        text = lir.dump()
+        assert "LIRModule" in text
+        for op in WALK_STEP_OPS:
+            assert op in text
+
+    def test_lir_dump_array_layout_dims(self, trained_forest):
+        lir = self._lir(trained_forest, Schedule(layout="array", tile_size=2))
+        assert "slots=" in lir.dump()
+
+    def test_mir_dump_parallel_header(self, trained_forest):
+        hir = build_hir(trained_forest, Schedule(parallel=4))
+        mir = run_mir_pipeline(lower_hir_to_mir(hir), hir)
+        assert mir.dump().startswith("parallel.for")
+
+    def test_walk_step_ops_complete(self):
+        """The §V-A listing has eight steps, load → advance."""
+        assert len(WALK_STEP_OPS) == 8
+        assert WALK_STEP_OPS[0] == "loadThresholds"
+        assert WALK_STEP_OPS[-1] == "advanceToChild"
+
+
+class TestTimerEdge:
+    def test_min_time_loops_fast_functions(self):
+        calls = []
+        m = measure(lambda: calls.append(1), rows=1, repeats=1, min_time_s=0.02)
+        assert len(calls) > 1  # looped to meet the floor
+        assert m.seconds > 0
+
+    def test_paired_helper_returns_all_labels(self, trained_forest, test_rows):
+        p = compile_model(trained_forest)
+        times = paired_per_row_us(
+            {"a": p.raw_predict, "b": p.raw_predict}, test_rows,
+            rounds=1, min_time_s=0.01,
+        )
+        assert set(times) == {"a", "b"}
+        assert all(v > 0 for v in times.values())
+
+
+class TestDatasetHelpers:
+    def test_mixed_rows_share(self):
+        rows = mixed_rows("higgs", 200, prototype_fraction=0.5, seed=1)
+        assert rows.shape == (200, 28)
+        # Half the rows collapse onto prototypes on the prototype feature
+        # columns: some per-column value must repeat heavily.
+        max_dup = max(
+            int(np.unique(np.round(rows[:, j], 9), return_counts=True)[1].max())
+            for j in range(rows.shape[1])
+        )
+        assert max_dup >= 10
+
+    def test_diffuse_rows_have_no_heavy_hitters(self):
+        rows = fresh_rows("higgs", 200, diffuse=True, seed=1)
+        _, counts = np.unique(np.round(rows, 6), axis=0, return_counts=True)
+        assert counts.max() == 1
+
+
+class TestApiFlags:
+    def test_validate_tiling_off_still_correct(self, trained_forest, test_rows):
+        predictor = compile_model(trained_forest, validate_tiling=False)
+        want = trained_forest.raw_predict(test_rows[:16])
+        assert np.allclose(predictor.raw_predict(test_rows[:16]), want, rtol=1e-12)
+
+    def test_predictor_repr(self, trained_forest):
+        predictor = compile_model(trained_forest)
+        assert "Predictor(" in repr(predictor)
+
+    @pytest.mark.parametrize("parallel", [1, 2, 3, 7])
+    def test_parallel_degrees(self, trained_forest, test_rows, parallel):
+        predictor = compile_model(trained_forest, Schedule(parallel=parallel))
+        want = trained_forest.raw_predict(test_rows)
+        assert np.allclose(predictor.raw_predict(test_rows), want, rtol=1e-12)

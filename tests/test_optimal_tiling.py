@@ -1,0 +1,117 @@
+"""Tests for the dynamic-programming optimal tiler (extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import compile_model
+from repro.config import Schedule
+from repro.errors import TilingError
+from repro.forest.statistics import leaf_probabilities
+from repro.hir.tiling import (
+    TiledTree,
+    basic_tiling,
+    check_valid_tiling,
+    optimal_tiling,
+    probability_tiling,
+    tiling_objective,
+)
+from repro.hir.tiling.optimal import _candidate_tiles
+
+from conftest import random_tree
+from test_property import trees
+from test_tiling import chain_tree, complete_tree
+
+
+class TestCandidateEnumeration:
+    def test_single_node_tree(self):
+        tree = complete_tree(1)
+        assert _candidate_tiles(tree, 0, 4) == [(0,)]
+
+    def test_complete_tree_counts(self):
+        """Candidates rooted at the root of a complete depth-3 tree with
+        tile size 3 are exactly the connected 3-node subtrees containing
+        the root (maximality excludes smaller ones)."""
+        tree = complete_tree(3)
+        candidates = _candidate_tiles(tree, 0, 3)
+        assert all(len(c) == 3 for c in candidates)
+        assert all(0 in c for c in candidates)
+        # Root + both children, or root + child + one grandchild (x4).
+        assert len(candidates) == 5
+
+    def test_undersized_only_when_bordered_by_leaves(self):
+        tree = complete_tree(2)  # 3 internal nodes
+        candidates = _candidate_tiles(tree, 0, 8)
+        assert candidates == [(0, 1, 2)] or candidates == [tuple(sorted(
+            int(n) for n in tree.internal_nodes()
+        ))]
+
+
+class TestOptimality:
+    @settings(max_examples=40, deadline=None)
+    @given(tree=trees(max_depth=6), nt=st.sampled_from([2, 3, 4, 8]),
+           seed=st.integers(0, 10**6))
+    def test_never_worse_than_greedy(self, tree, nt, seed):
+        rows = np.random.default_rng(seed).normal(size=(100, 6))
+        tree.node_probability = leaf_probabilities(tree, rows)
+        opt = optimal_tiling(tree, nt)
+        check_valid_tiling(tree, opt, nt)
+        o_opt = tiling_objective(tree, opt, nt)
+        for alg in (probability_tiling, basic_tiling):
+            o_alg = tiling_objective(tree, alg(tree, nt), nt)
+            assert o_opt <= o_alg + 1e-9
+
+    def test_strictly_better_on_adversarial_tree(self):
+        """A hot deep-left path with a decoy: greedy probability tiling can
+        be beaten; the DP solver must find the better tiling on trees where
+        they disagree (chain trees at tile size 2 are such a family)."""
+        tree = chain_tree(9)
+        rows = np.full((100, 1), -100.0)
+        tree.node_probability = leaf_probabilities(tree, rows)
+        nt = 2
+        o_opt = tiling_objective(tree, optimal_tiling(tree, nt), nt)
+        o_basic = tiling_objective(tree, basic_tiling(tree, nt), nt)
+        assert o_opt <= o_basic
+
+    def test_uniform_fallback(self, rng):
+        tree = random_tree(rng, max_depth=5)
+        tree.node_probability = None
+        tiling = optimal_tiling(tree, 4)
+        check_valid_tiling(tree, tiling, 4)
+
+    def test_single_leaf_tree(self):
+        from repro.forest.builder import TreeBuilder
+
+        b = TreeBuilder()
+        b.leaf(1.0)
+        assert optimal_tiling(b.build(), 4) == []
+
+    def test_shape_mismatch_rejected(self):
+        tree = complete_tree(2)
+        with pytest.raises(TilingError):
+            optimal_tiling(tree, 4, probabilities=np.ones(2))
+
+    def test_walk_semantics_preserved(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, max_depth=6)
+            rows = rng.normal(size=(60, 8))
+            tree.node_probability = leaf_probabilities(tree, rows)
+            tiled = TiledTree.from_tiling(tree, optimal_tiling(tree, 4), 4)
+            assert np.array_equal(tiled.walk_rows(rows), tree.predict(rows))
+
+
+class TestScheduleIntegration:
+    def test_compile_with_optimal_tiling(self, trained_forest, test_rows):
+        predictor = compile_model(trained_forest, Schedule(tiling="optimal", tile_size=4))
+        want = trained_forest.raw_predict(test_rows[:48])
+        assert np.allclose(predictor.raw_predict(test_rows[:48]), want, rtol=1e-12)
+
+    def test_optimal_shortens_expected_walks(self, trained_forest):
+        from repro.hir.ir import build_hir
+
+        base = Schedule(tile_size=4, pad_and_unroll=False, peel_walk=False)
+        greedy = build_hir(trained_forest, base.with_(tiling="probability"))
+        optimal = build_hir(trained_forest, base.with_(tiling="optimal"))
+        g = sum(t.expected_walk_length() for t in greedy.tiled_trees)
+        o = sum(t.expected_walk_length() for t in optimal.tiled_trees)
+        assert o <= g + 1e-9

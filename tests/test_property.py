@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on the compiler's core invariants.
+
+These are the strongest correctness guarantees in the suite: for *arbitrary*
+random trees and schedules, tilings must satisfy the Section III-B1
+constraints and every lowering must preserve prediction semantics exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import compile_model
+from repro.config import Schedule
+from repro.forest.builder import TreeBuilder
+from repro.forest.ensemble import Forest
+from repro.forest.statistics import leaf_probabilities
+from repro.forest.tree import DecisionTree
+from repro.hir.tiling import (
+    ShapeRegistry,
+    TiledTree,
+    basic_tiling,
+    check_valid_tiling,
+    probability_tiling,
+)
+from repro.hir.padding import pad_to_uniform_depth
+from repro.hir.tiling.shapes import out_edge_order, shape_child_for_bits, shape_key_of_tile
+
+NUM_FEATURES = 6
+
+
+@st.composite
+def trees(draw, max_depth=6):
+    """Strategy generating random full binary decision trees."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    depth = draw(st.integers(0, max_depth))
+    leaf_prob = draw(st.floats(0.1, 0.6))
+    rng = np.random.default_rng(seed)
+    builder = TreeBuilder()
+
+    def grow(parent, side, d):
+        if d >= depth or rng.uniform() < leaf_prob:
+            builder.leaf(float(rng.normal()), parent=parent, side=side)
+            return
+        node = builder.internal(
+            int(rng.integers(NUM_FEATURES)), float(rng.normal()), parent=parent, side=side
+        )
+        grow(node, "left", d + 1)
+        grow(node, "right", d + 1)
+
+    if depth == 0:
+        builder.leaf(float(rng.normal()))
+    else:
+        root = builder.internal(int(rng.integers(NUM_FEATURES)), float(rng.normal()))
+        grow(root, "left", 1)
+        grow(root, "right", 1)
+    return builder.build()
+
+
+@st.composite
+def forests(draw, max_trees=4):
+    n = draw(st.integers(1, max_trees))
+    members = [draw(trees()) for _ in range(n)]
+    return Forest(members, num_features=NUM_FEATURES)
+
+
+def rows_for(seed: int, n: int = 24) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, NUM_FEATURES))
+
+
+class TestTilingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(tree=trees(), nt=st.integers(1, 8))
+    def test_basic_tiling_always_valid(self, tree, nt):
+        check_valid_tiling(tree, basic_tiling(tree, nt), nt)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tree=trees(), nt=st.integers(1, 8), seed=st.integers(0, 1000))
+    def test_probability_tiling_always_valid(self, tree, nt, seed):
+        tree.node_probability = leaf_probabilities(tree, rows_for(seed, 50))
+        check_valid_tiling(tree, probability_tiling(tree, nt), nt)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree=trees(), nt=st.integers(1, 6), seed=st.integers(0, 1000))
+    def test_tiled_walk_equals_binary_walk(self, tree, nt, seed):
+        tiled = TiledTree.from_tiling(tree, basic_tiling(tree, nt), nt)
+        rows = rows_for(seed)
+        assert np.array_equal(tiled.walk_rows(rows), tree.predict(rows))
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree=trees(), nt=st.integers(1, 6), seed=st.integers(0, 1000))
+    def test_padding_preserves_semantics(self, tree, nt, seed):
+        tiled = TiledTree.from_tiling(tree, basic_tiling(tree, nt), nt)
+        pad_to_uniform_depth(tiled)
+        assert tiled.is_uniform_depth
+        rows = rows_for(seed)
+        assert np.array_equal(tiled.walk_rows(rows), tree.predict(rows))
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree=trees(), nt=st.integers(2, 8))
+    def test_tile_count_decreases_with_tile_size(self, tree, nt):
+        big = basic_tiling(tree, nt)
+        small = basic_tiling(tree, 1)
+        assert len(big) <= len(small)
+
+
+class TestShapeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(tree=trees(max_depth=4), nt=st.integers(1, 8))
+    def test_out_edges_match_original_children(self, tree, nt):
+        """Out-edge order must enumerate each tile's children exactly once."""
+        for tile_nodes in basic_tiling(tree, nt):
+            shape, ordered = shape_key_of_tile(tree, tile_nodes)
+            edges = out_edge_order(shape)
+            assert len(edges) == len(tile_nodes) + 1
+            children = []
+            for intra, side in edges:
+                node = ordered[intra]
+                child = tree.left[node] if side == "L" else tree.right[node]
+                children.append(int(child))
+            assert len(set(children)) == len(children)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tree=trees(max_depth=4), nt=st.integers(1, 6), bits_seed=st.integers(0, 10**6))
+    def test_lut_agrees_with_walk(self, tree, nt, bits_seed):
+        """LUT-selected children must equal the explicit in-tile walk for
+        random predicate patterns."""
+        reg = ShapeRegistry(nt)
+        rng = np.random.default_rng(bits_seed)
+        tilings = basic_tiling(tree, nt)
+        if not tilings:
+            return
+        for tile_nodes in tilings:
+            shape, _ = shape_key_of_tile(tree, tile_nodes)
+            sid = reg.register(shape)
+        lut = reg.build_lut()
+        for tile_nodes in tilings:
+            shape, _ = shape_key_of_tile(tree, tile_nodes)
+            sid = reg.register(shape)
+            bits = int(rng.integers(1 << nt))
+            k = len(shape)
+            assert lut[sid, bits] == shape_child_for_bits(shape, bits & ((1 << k) - 1))
+
+
+class TestPipelineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        forest=forests(),
+        nt=st.sampled_from([1, 2, 4, 8]),
+        layout=st.sampled_from(["array", "sparse"]),
+        order=st.sampled_from(["one-tree", "one-row"]),
+        pad=st.booleans(),
+        interleave=st.sampled_from([1, 3, 8]),
+        seed=st.integers(0, 1000),
+    )
+    def test_compiled_matches_reference(self, forest, nt, layout, order, pad, interleave, seed):
+        schedule = Schedule(
+            tile_size=nt,
+            layout=layout,
+            loop_order=order,
+            pad_and_unroll=pad,
+            interleave=interleave,
+            tiling="basic",
+        )
+        predictor = compile_model(forest, schedule)
+        rows = rows_for(seed)
+        assert np.allclose(
+            predictor.raw_predict(rows), forest.raw_predict(rows), rtol=1e-12, atol=1e-12
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(tree=trees(), seed=st.integers(0, 10**6))
+    def test_serialization_roundtrip(self, tree, seed):
+        clone = DecisionTree.from_dict(tree.to_dict())
+        rows = rows_for(seed)
+        assert np.array_equal(clone.predict(rows), tree.predict(rows))
+        assert clone.structure_signature() == tree.structure_signature()

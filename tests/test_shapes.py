@@ -1,0 +1,202 @@
+"""Unit tests for tile shapes, canonicalization, and the LUT."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TilingError
+from repro.forest.builder import TreeBuilder
+from repro.hir.tiling.shapes import (
+    ShapeRegistry,
+    all_shapes_of_size,
+    left_chain_shape,
+    out_edge_order,
+    shape_child_for_bits,
+    shape_key_of_tile,
+    validate_shape,
+)
+
+
+def catalan(n: int) -> int:
+    from math import comb
+
+    return comb(2 * n, n) // (n + 1)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 6])
+    def test_counts_are_catalan(self, size):
+        assert len(all_shapes_of_size(size)) == catalan(size)
+
+    def test_shapes_are_unique(self):
+        shapes = all_shapes_of_size(4)
+        assert len(set(shapes)) == len(shapes)
+
+    def test_all_enumerated_shapes_validate(self):
+        for shape in all_shapes_of_size(5):
+            validate_shape(shape)
+
+    def test_figure4_shapes_present(self):
+        """Figure 4 of the paper: the 5 shapes of tile size 3."""
+        shapes = set(all_shapes_of_size(3))
+        chain_left = ((1, -1), (2, -1), (-1, -1))
+        balanced = ((1, 2), (-1, -1), (-1, -1))
+        assert chain_left in shapes
+        assert balanced in shapes
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(TilingError):
+            validate_shape(())
+
+    def test_child_before_parent_rejected(self):
+        with pytest.raises(TilingError):
+            validate_shape(((1, -1), (0, -1)))
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(TilingError):
+            validate_shape(((1, 1),))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TilingError):
+            validate_shape(((5, -1),))
+
+
+class TestOutEdges:
+    def test_edge_count_is_size_plus_one(self):
+        for size in (1, 2, 3, 4):
+            for shape in all_shapes_of_size(size):
+                assert len(out_edge_order(shape)) == size + 1
+
+    def test_single_node_order(self):
+        assert out_edge_order(((-1, -1),)) == [(0, "L"), (0, "R")]
+
+    def test_left_chain_first_edge_is_deepest_left(self):
+        shape = left_chain_shape(3)
+        edges = out_edge_order(shape)
+        assert edges[0] == (2, "L")
+        assert edges[-1] == (0, "R")
+
+
+class TestChildSelection:
+    def test_single_node(self):
+        shape = ((-1, -1),)
+        assert shape_child_for_bits(shape, 0b1) == 0  # true -> left child
+        assert shape_child_for_bits(shape, 0b0) == 1
+
+    def test_balanced_three(self):
+        """Figure 5, first tile shape: root 0 with children 1 (left), 2 (right)."""
+        shape = ((1, 2), (-1, -1), (-1, -1))
+        # All true: 0 -> left(1) -> left out = child 0 ("a" in the paper).
+        assert shape_child_for_bits(shape, 0b111) == 0
+        # node0 true, node1 false -> exit right of node 1 = child 1.
+        assert shape_child_for_bits(shape, 0b101) == 1
+        # node0 false, node2 true -> left of node 2 = child 2.
+        assert shape_child_for_bits(shape, 0b100) == 2
+        # node0 false, node2 false -> right of node 2 = child 3.
+        assert shape_child_for_bits(shape, 0b000) == 3
+
+    def test_dummy_chain_routes_to_child_zero_on_all_true(self):
+        for size in (1, 2, 4, 8):
+            shape = left_chain_shape(size)
+            assert shape_child_for_bits(shape, (1 << size) - 1) == 0
+
+    def test_exhaustive_agreement_with_simulation(self):
+        """Every (shape, bits) answer must match a naive in-tile walk."""
+        for shape in all_shapes_of_size(4):
+            edges = out_edge_order(shape)
+            for bits in range(16):
+                node = 0
+                while True:
+                    nxt = shape[node][0] if (bits >> node) & 1 else shape[node][1]
+                    if nxt == -1:
+                        side = "L" if (bits >> node) & 1 else "R"
+                        expected = edges.index((node, side))
+                        break
+                    node = nxt
+                assert shape_child_for_bits(shape, bits) == expected
+
+
+class TestShapeOfTile:
+    def _tree(self):
+        return TreeBuilder.from_nested(
+            {
+                "feature": 0, "threshold": 0.0,
+                "left": {
+                    "feature": 1, "threshold": 0.0,
+                    "left": {"value": 1.0}, "right": {"value": 2.0},
+                },
+                "right": {"value": 3.0},
+            }
+        )
+
+    def test_canonicalization(self):
+        tree = self._tree()
+        internal = [int(n) for n in tree.internal_nodes()]
+        shape, ordered = shape_key_of_tile(tree, internal)
+        assert len(ordered) == 2
+        assert ordered[0] == 0  # tile root first
+        assert shape == ((1, -1), (-1, -1))
+
+    def test_disconnected_tile_rejected(self):
+        tree = self._tree()
+        # Node 0 plus a grandchild leaf (whose parent is outside the set).
+        grandchild = int(tree.left[int(tree.left[0])])
+        with pytest.raises(TilingError):
+            shape_key_of_tile(tree, [0, grandchild])
+
+
+class TestRegistry:
+    def test_ids_stable(self):
+        reg = ShapeRegistry(4)
+        a = reg.register(((-1, -1),))
+        b = reg.register(((1, -1), (-1, -1)))
+        assert reg.register(((-1, -1),)) == a
+        assert a != b
+        assert reg.num_shapes == 2
+
+    def test_oversize_shape_rejected(self):
+        reg = ShapeRegistry(2)
+        with pytest.raises(TilingError):
+            reg.register(left_chain_shape(3))
+
+    def test_bad_tile_size_rejected(self):
+        with pytest.raises(TilingError):
+            ShapeRegistry(0)
+
+    def test_lut_dimensions(self):
+        reg = ShapeRegistry(3)
+        for shape in all_shapes_of_size(3):
+            reg.register(shape)
+        lut = reg.build_lut()
+        assert lut.shape == (5, 8)
+
+    def test_lut_values_match_direct_computation(self):
+        reg = ShapeRegistry(3)
+        shapes = list(all_shapes_of_size(3)) + list(all_shapes_of_size(2))
+        for shape in shapes:
+            reg.register(shape)
+        lut = reg.build_lut()
+        for shape in shapes:
+            sid = reg.register(shape)
+            k = len(shape)
+            for bits in range(1 << 3):
+                assert lut[sid, bits] == shape_child_for_bits(shape, bits & ((1 << k) - 1))
+
+    def test_lut_child_range(self):
+        reg = ShapeRegistry(4)
+        for shape in all_shapes_of_size(4):
+            reg.register(shape)
+        lut = reg.build_lut()
+        assert lut.min() >= 0
+        assert lut.max() <= 4  # at most size+1 children, index <= size
+
+
+class TestLeftChain:
+    def test_sizes(self):
+        assert left_chain_shape(1) == ((-1, -1),)
+        assert left_chain_shape(3) == ((1, -1), (2, -1), (-1, -1))
+
+    def test_invalid_size(self):
+        with pytest.raises(TilingError):
+            left_chain_shape(0)

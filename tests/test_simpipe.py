@@ -1,0 +1,194 @@
+"""Unit tests for the microarchitectural cost model (simpipe)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.perf.machine import AMD_RYZEN_LIKE, INTEL_ROCKET_LAKE_LIKE
+from repro.perf.simpipe import (
+    Cache,
+    MemoryHierarchy,
+    TwoBitPredictor,
+    stall_breakdown,
+    trace_variant,
+)
+from repro.perf.simpipe.trace import VARIANTS
+from repro.training.gbdt import GBDTParams, train_gbdt
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 10))
+    y = X[:, 0] * 2 + np.sin(3 * X[:, 1])
+    forest = train_gbdt(X, y, GBDTParams(num_rounds=10, max_depth=6, seed=2))
+    rows = rng.normal(size=(32, 10))
+    return forest, rows
+
+
+class TestCache:
+    def test_hit_after_miss(self):
+        cache = Cache(size=1024, assoc=2, line=64)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)  # same line
+
+    def test_lru_eviction(self):
+        cache = Cache(size=128, assoc=1, line=64)  # 2 sets, direct mapped
+        cache.access(0)
+        cache.access(128)  # same set (stride = num_sets * line), evicts 0
+        assert not cache.access(0)
+
+    def test_associativity_retains(self):
+        cache = Cache(size=256, assoc=2, line=64)  # 2 sets, 2 ways
+        cache.access(0)
+        cache.access(256)
+        assert cache.access(0)  # both fit in the 2-way set
+
+    def test_counters(self):
+        cache = Cache(size=1024, assoc=2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.misses == 1
+        assert cache.hits == 1
+        cache.reset_counters()
+        assert cache.misses == 0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ReproError):
+            Cache(size=0, assoc=1)
+        with pytest.raises(ReproError):
+            Cache(size=100, assoc=3, line=64)
+
+
+class TestHierarchy:
+    def test_latency_ladder(self):
+        mem = MemoryHierarchy.for_machine(INTEL_ROCKET_LAKE_LIKE)
+        first = mem.access(0)
+        second = mem.access(0)
+        assert first == INTEL_ROCKET_LAKE_LIKE.mem_latency
+        assert second == INTEL_ROCKET_LAKE_LIKE.l1_latency
+
+    def test_range_access_touches_lines(self):
+        mem = MemoryHierarchy.for_machine(INTEL_ROCKET_LAKE_LIKE)
+        # 8 bytes straddling a line boundary -> two accesses.
+        mem.access_range(60, 8)
+        assert mem.total_accesses == 2
+
+
+class TestPredictor2Bit:
+    def test_learns_bias(self):
+        p = TwoBitPredictor()
+        for _ in range(10):
+            p.record(5, True)
+        assert p.record(5, True)
+
+    def test_alternating_hurts(self):
+        p = TwoBitPredictor()
+        wrong = sum(not p.record(1, bool(i % 2)) for i in range(100))
+        assert wrong > 30
+
+    def test_aliasing(self):
+        p = TwoBitPredictor(table_size=4)
+        p.record(0, True)
+        p.record(4, False)  # aliases slot 0
+        assert p.predictions == 2
+
+
+class TestTracers:
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_all_variants_produce_events(self, small_model, variant):
+        forest, rows = small_model
+        stats = trace_variant(variant, forest, rows, INTEL_ROCKET_LAKE_LIKE)
+        assert stats.instructions > 0
+        assert stats.steps > 0
+        assert stats.mem_accesses > 0
+
+    def test_one_row_one_tree_same_work(self, small_model):
+        """Loop order changes locality, not the amount of work."""
+        forest, rows = small_model
+        a = trace_variant("OneRow", forest, rows, INTEL_ROCKET_LAKE_LIKE)
+        b = trace_variant("OneTree", forest, rows, INTEL_ROCKET_LAKE_LIKE)
+        assert a.instructions == b.instructions
+        assert a.steps == b.steps
+
+    def test_vector_fewer_steps(self, small_model):
+        """Tiling must cut the number of walk steps."""
+        forest, rows = small_model
+        scalar = trace_variant("OneTree", forest, rows, INTEL_ROCKET_LAKE_LIKE)
+        vector = trace_variant("Vector", forest, rows, INTEL_ROCKET_LAKE_LIKE)
+        assert vector.steps < scalar.steps
+
+    def test_interleaved_fewer_instructions(self, small_model):
+        forest, rows = small_model
+        vector = trace_variant("Vector", forest, rows, INTEL_ROCKET_LAKE_LIKE)
+        inter = trace_variant("Interleaved", forest, rows, INTEL_ROCKET_LAKE_LIKE)
+        assert inter.instructions < vector.instructions
+        assert inter.width > 1
+
+    def test_vector_has_no_branches(self, small_model):
+        """The LUT-driven walk is branchless (no data-dependent branches)."""
+        forest, rows = small_model
+        stats = trace_variant("Vector", forest, rows, INTEL_ROCKET_LAKE_LIKE)
+        assert stats.branches == 0
+        assert stats.mispredictions == 0
+
+    def test_treelite_has_code_footprint(self, small_model):
+        forest, rows = small_model
+        stats = trace_variant("Treelite", forest, rows, INTEL_ROCKET_LAKE_LIKE)
+        assert stats.code_bytes > 0
+        assert stats.branches > 0
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self, small_model):
+        forest, rows = small_model
+        for variant in sorted(VARIANTS):
+            stats = trace_variant(variant, forest, rows, INTEL_ROCKET_LAKE_LIKE)
+            b = stall_breakdown(stats, INTEL_ROCKET_LAKE_LIKE)
+            total = b.retiring + b.frontend + b.backend_memory + b.backend_core
+            assert total == pytest.approx(1.0)
+
+    def test_interleaving_cuts_core_stalls(self, small_model):
+        forest, rows = small_model
+        vec = stall_breakdown(
+            trace_variant("Vector", forest, rows, INTEL_ROCKET_LAKE_LIKE),
+            INTEL_ROCKET_LAKE_LIKE,
+        )
+        inter = stall_breakdown(
+            trace_variant("Interleaved", forest, rows, INTEL_ROCKET_LAKE_LIKE),
+            INTEL_ROCKET_LAKE_LIKE,
+        )
+        assert inter.backend_core < vec.backend_core
+        assert inter.cycles_per_row < vec.cycles_per_row
+
+    def test_treelite_frontend_dominant(self, small_model):
+        forest, rows = small_model
+        b = stall_breakdown(
+            trace_variant("Treelite", forest, rows, INTEL_ROCKET_LAKE_LIKE),
+            INTEL_ROCKET_LAKE_LIKE,
+        )
+        assert b.frontend > b.backend_memory
+        assert b.frontend > 0.2
+
+    def test_amd_gathers_cost_more(self, small_model):
+        """The machine profiles must reproduce the Intel gather advantage."""
+        forest, rows = small_model
+        intel = stall_breakdown(
+            trace_variant("Vector", forest, rows, INTEL_ROCKET_LAKE_LIKE),
+            INTEL_ROCKET_LAKE_LIKE,
+        )
+        amd = stall_breakdown(
+            trace_variant("Vector", forest, rows, AMD_RYZEN_LIKE), AMD_RYZEN_LIKE
+        )
+        assert amd.cycles_per_row > intel.cycles_per_row * 0.9
+
+    def test_report_rendering(self, small_model):
+        forest, rows = small_model
+        b = stall_breakdown(
+            trace_variant("OneRow", forest, rows, INTEL_ROCKET_LAKE_LIKE),
+            INTEL_ROCKET_LAKE_LIKE,
+        )
+        assert "OneRow" in str(b)
+        row = b.row()
+        assert set(row) >= {"variant", "cycles/row", "retiring%"}

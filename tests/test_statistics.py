@@ -1,0 +1,132 @@
+"""Unit tests for leaf statistics and leaf-bias detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.forest.builder import TreeBuilder
+from repro.forest.ensemble import Forest
+from repro.forest.statistics import (
+    count_leaf_biased,
+    coverage_profile,
+    is_leaf_biased,
+    leaf_bias_fractions,
+    leaf_fraction_for_coverage,
+    leaf_probabilities,
+    populate_node_probabilities,
+    uniform_node_probabilities,
+)
+
+
+def stump(threshold=0.0):
+    b = TreeBuilder()
+    root = b.internal(feature=0, threshold=threshold)
+    b.leaf(1.0, parent=root, side="left")
+    b.leaf(2.0, parent=root, side="right")
+    return b.build()
+
+
+class TestLeafProbabilities:
+    def test_probabilities_sum_to_one_on_leaves(self, trained_forest, regression_data):
+        X, _ = regression_data
+        tree = trained_forest.trees[0]
+        prob = leaf_probabilities(tree, X)
+        assert prob[tree.leaves()].sum() == pytest.approx(1.0)
+
+    def test_root_probability_is_one(self, trained_forest, regression_data):
+        X, _ = regression_data
+        prob = leaf_probabilities(trained_forest.trees[0], X)
+        assert prob[0] == pytest.approx(1.0)
+
+    def test_internal_equals_children_sum(self, trained_forest, regression_data):
+        X, _ = regression_data
+        tree = trained_forest.trees[0]
+        prob = leaf_probabilities(tree, X)
+        for node in tree.internal_nodes():
+            left, right = tree.children(int(node))
+            assert prob[node] == pytest.approx(prob[left] + prob[right])
+
+    def test_known_split(self):
+        tree = stump(0.0)
+        rows = np.array([[-1.0], [-2.0], [1.0], [3.0]])
+        prob = leaf_probabilities(tree, rows)
+        left, right = tree.children(0)
+        assert prob[left] == pytest.approx(0.5)
+        assert prob[right] == pytest.approx(0.5)
+
+    def test_weights_shift_probabilities(self):
+        tree = stump(0.0)
+        rows = np.array([[-1.0], [1.0]])
+        prob = leaf_probabilities(tree, rows, weights=np.array([3.0, 1.0]))
+        left, _ = tree.children(0)
+        assert prob[left] == pytest.approx(0.75)
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ModelError):
+            leaf_probabilities(stump(), np.zeros((0, 1)))
+
+    def test_populate_sets_all_trees(self, rng):
+        from conftest import random_forest_model
+
+        forest = random_forest_model(rng, num_trees=4)
+        populate_node_probabilities(forest, rng.normal(size=(50, 8)))
+        assert all(t.node_probability is not None for t in forest.trees)
+
+    def test_uniform_probabilities(self):
+        tree = stump()
+        prob = uniform_node_probabilities(tree)
+        assert prob[0] == 1.0
+        left, right = tree.children(0)
+        assert prob[left] == prob[right] == 0.5
+
+
+class TestLeafBias:
+    def _biased_tree(self):
+        """A stump where 99% of mass goes left."""
+        tree = stump(0.0)
+        rows = np.concatenate([np.full((99, 1), -1.0), np.full((1, 1), 1.0)])
+        tree.node_probability = leaf_probabilities(tree, rows)
+        return tree
+
+    def test_fraction_for_coverage(self):
+        tree = self._biased_tree()
+        assert leaf_fraction_for_coverage(tree, 0.9) == pytest.approx(0.5)
+
+    def test_biased_detection(self):
+        tree = self._biased_tree()
+        assert is_leaf_biased(tree, alpha=0.5, beta=0.9)
+        assert not is_leaf_biased(tree, alpha=0.3, beta=0.9)
+
+    def test_unpopulated_tree_raises(self):
+        with pytest.raises(ModelError, match="probabilities"):
+            leaf_fraction_for_coverage(stump(), 0.9)
+
+    def test_count_leaf_biased(self, trained_forest):
+        count = count_leaf_biased(trained_forest, alpha=1.0, beta=0.9)
+        assert count == trained_forest.num_trees
+
+    def test_fractions_vector(self, trained_forest):
+        fractions = leaf_bias_fractions(trained_forest, beta=0.9)
+        assert fractions.shape == (trained_forest.num_trees,)
+        assert ((0 < fractions) & (fractions <= 1)).all()
+
+
+class TestCoverageProfile:
+    def test_profile_monotone(self, trained_forest):
+        profile = coverage_profile(trained_forest, coverage=0.9)
+        assert (np.diff(profile.tree_fractions) >= 0).all()
+
+    def test_profile_reaches_one(self, trained_forest):
+        profile = coverage_profile(trained_forest, coverage=0.9)
+        assert profile.tree_fractions[-1] == pytest.approx(1.0)
+
+    def test_higher_coverage_needs_more_leaves(self, trained_forest):
+        lo = coverage_profile(trained_forest, coverage=0.8)
+        hi = coverage_profile(trained_forest, coverage=0.95)
+        # At every x, fewer trees manage the higher coverage target.
+        assert (hi.tree_fractions <= lo.tree_fractions + 1e-12).all()
+
+    def test_custom_grid(self, trained_forest):
+        grid = np.array([0.5, 1.0])
+        profile = coverage_profile(trained_forest, 0.9, grid=grid)
+        assert profile.leaf_fractions.shape == (2,)

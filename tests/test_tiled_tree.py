@@ -1,0 +1,192 @@
+"""Unit tests for TiledTree, padding, and tree reordering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TilingError
+from repro.forest.builder import TreeBuilder
+from repro.forest.statistics import leaf_probabilities
+from repro.hir.padding import pad_to_uniform_depth, padding_cost
+from repro.hir.reorder import reorder_trees
+from repro.hir.tiling import TiledTree, basic_tiling
+
+from conftest import random_tree
+from test_tiling import chain_tree, complete_tree
+
+
+def tiled(tree, nt=4):
+    return TiledTree.from_tiling(tree, basic_tiling(tree, nt), nt)
+
+
+class TestConstruction:
+    def test_root_tile_is_zero(self, rng):
+        t = tiled(random_tree(rng, max_depth=5))
+        assert t.root.tile_id == 0
+        assert t.root.parent == -1
+
+    def test_children_count_invariant(self, rng):
+        """Internal tiles with k nodes have exactly k+1 children."""
+        for _ in range(5):
+            t = tiled(random_tree(rng, max_depth=6))
+            for tile in t.internal_tiles():
+                if not tile.is_dummy:
+                    assert len(tile.children) == tile.num_nodes + 1
+
+    def test_every_original_leaf_becomes_leaf_tile(self, rng):
+        tree = random_tree(rng, max_depth=5)
+        t = tiled(tree)
+        leaf_nodes = {tile.nodes[0] for tile in t.leaf_tiles()}
+        assert leaf_nodes == set(int(n) for n in tree.leaves())
+
+    def test_depths_consistent(self, rng):
+        t = tiled(random_tree(rng, max_depth=6))
+        for tile in t.tiles:
+            if tile.parent >= 0:
+                assert tile.depth == t.tiles[tile.parent].depth + 1
+
+    def test_single_leaf_tree(self):
+        b = TreeBuilder()
+        b.leaf(9.0)
+        t = TiledTree.from_tiling(b.build(), [], 4)
+        assert t.num_tiles == 1
+        assert t.root.is_leaf
+        assert t.walk_row(np.zeros(1)) == 9.0
+
+    def test_probabilities_carried(self):
+        tree = chain_tree(4)
+        rows = np.full((10, 1), -100.0)
+        tree.node_probability = leaf_probabilities(tree, rows)
+        t = tiled(tree, 2)
+        assert t.root.probability == pytest.approx(1.0)
+
+    def test_invalid_tiling_rejected(self):
+        tree = complete_tree(3)
+        with pytest.raises(TilingError):
+            TiledTree.from_tiling(tree, [[0]], 2)  # not a partition
+
+    def test_validation_can_be_skipped(self):
+        tree = complete_tree(2)
+        tiling = basic_tiling(tree, 2)
+        t = TiledTree.from_tiling(tree, tiling, 2, validate=False)
+        assert t.num_tiles > 0
+
+
+class TestWalk:
+    @pytest.mark.parametrize("nt", [1, 2, 3, 4, 8])
+    def test_walk_matches_binary_traversal(self, rng, nt):
+        for _ in range(5):
+            tree = random_tree(rng, max_depth=6)
+            t = tiled(tree, nt)
+            rows = rng.normal(size=(40, 8))
+            assert np.array_equal(t.walk_rows(rows), tree.predict(rows))
+
+    def test_walk_after_padding(self, rng):
+        for _ in range(5):
+            tree = random_tree(rng, max_depth=6)
+            t = tiled(tree, 3)
+            pad_to_uniform_depth(t)
+            rows = rng.normal(size=(40, 8))
+            assert np.array_equal(t.walk_rows(rows), tree.predict(rows))
+
+    def test_expected_walk_length_bounds(self, rng):
+        tree = random_tree(rng, max_depth=5)
+        tree.node_probability = leaf_probabilities(tree, rng.normal(size=(100, 8)))
+        t = tiled(tree, 2)
+        ewl = t.expected_walk_length()
+        assert t.min_leaf_depth - 1e-9 <= ewl <= t.max_leaf_depth + 1e-9
+
+
+class TestPadding:
+    def test_uniform_after_padding(self, rng):
+        for _ in range(5):
+            t = tiled(random_tree(rng, max_depth=7), 2)
+            assert pad_to_uniform_depth(t)
+            assert t.is_uniform_depth
+
+    def test_dummy_tiles_inserted(self):
+        t = tiled(chain_tree(8), 4)
+        before = t.num_tiles
+        pad_to_uniform_depth(t)
+        dummies = [tile for tile in t.tiles if tile.is_dummy]
+        assert t.num_tiles > before
+        assert dummies, "chain tree padding must add dummy tiles"
+        for dummy in dummies:
+            assert len(dummy.children) == 1
+
+    def test_max_slack_gate(self):
+        t = tiled(chain_tree(10), 2)
+        slack = t.max_leaf_depth - t.min_leaf_depth
+        assert slack > 1
+        assert not pad_to_uniform_depth(t, max_slack=1)
+        assert not t.is_uniform_depth
+
+    def test_already_uniform_is_noop(self):
+        t = tiled(complete_tree(4), 3)
+        before = t.num_tiles
+        assert pad_to_uniform_depth(t)
+        assert t.num_tiles == before
+
+    def test_padding_cost_zero_for_uniform(self):
+        t = tiled(complete_tree(4), 3)
+        assert padding_cost(t) == 0.0
+
+    def test_single_leaf_tree_trivially_uniform(self):
+        b = TreeBuilder()
+        b.leaf(1.0)
+        t = TiledTree.from_tiling(b.build(), [], 4)
+        assert pad_to_uniform_depth(t)
+
+    def test_cannot_pad_above_root(self):
+        b = TreeBuilder()
+        b.leaf(1.0)
+        t = TiledTree.from_tiling(b.build(), [], 4)
+        with pytest.raises(TilingError):
+            t.insert_dummy_chain(0, 1)
+
+
+class TestSignatures:
+    def test_isomorphic_trees_share_signature(self):
+        a = tiled(complete_tree(3), 2)
+        b = tiled(complete_tree(3), 2)
+        assert a.structure_signature() == b.structure_signature()
+
+    def test_different_structures_differ(self):
+        a = tiled(complete_tree(3), 2)
+        b = tiled(chain_tree(5), 2)
+        assert a.structure_signature() != b.structure_signature()
+
+
+class TestReorder:
+    def test_groups_partition_trees(self, rng):
+        trees = [tiled(random_tree(rng, max_depth=6), 2) for _ in range(10)]
+        groups = reorder_trees(trees)
+        seen = sorted(i for g in groups for i in g.tree_indices)
+        assert seen == list(range(10))
+
+    def test_groups_sorted_by_depth(self, rng):
+        trees = [tiled(random_tree(rng, max_depth=6), 2) for _ in range(10)]
+        groups = reorder_trees(trees)
+        depths = [g.depth for g in groups]
+        assert depths == sorted(depths)
+
+    def test_same_depth_shares_group(self):
+        # Complete trees at tile size 1 are uniform-depth by construction.
+        trees = [tiled(complete_tree(3), 1), tiled(complete_tree(3), 1)]
+        groups = reorder_trees(trees)
+        assert len(groups) == 1
+        assert groups[0].num_trees == 2
+        assert groups[0].uniform
+
+    def test_disabled_reorder_keeps_order(self, rng):
+        trees = [tiled(random_tree(rng, max_depth=5), 2) for _ in range(4)]
+        groups = reorder_trees(trees, enabled=False)
+        assert [g.tree_indices for g in groups] == [[0], [1], [2], [3]]
+
+    def test_uniform_flag_requires_padding(self):
+        chain = tiled(chain_tree(7), 2)
+        assert not chain.is_uniform_depth
+        groups = reorder_trees([chain])
+        assert not groups[0].uniform
+        pad_to_uniform_depth(chain)
+        groups = reorder_trees([chain])
+        assert groups[0].uniform

@@ -1,0 +1,205 @@
+"""Unit tests for the tiling algorithms and validity checking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TilingError
+from repro.forest.builder import TreeBuilder
+from repro.forest.statistics import leaf_probabilities, uniform_node_probabilities
+from repro.hir.tiling import (
+    TiledTree,
+    basic_tiling,
+    check_valid_tiling,
+    hybrid_tiling,
+    probability_tiling,
+)
+
+from conftest import random_tree
+
+
+def complete_tree(depth: int):
+    """A complete binary tree of the given depth."""
+
+    def spec(d):
+        if d == depth:
+            return {"value": float(d)}
+        return {"feature": d, "threshold": 0.0, "left": spec(d + 1), "right": spec(d + 1)}
+
+    return TreeBuilder.from_nested(spec(0))
+
+
+def chain_tree(length: int):
+    """A left-leaning chain: worst case for balance."""
+
+    def spec(d):
+        if d == length:
+            return {"value": float(d)}
+        return {"feature": 0, "threshold": -float(d), "left": spec(d + 1), "right": {"value": -1.0}}
+
+    return TreeBuilder.from_nested(spec(0))
+
+
+class TestBasicTiling:
+    @pytest.mark.parametrize("nt", [1, 2, 3, 4, 8])
+    def test_valid_on_random_trees(self, rng, nt):
+        for _ in range(10):
+            tree = random_tree(rng, max_depth=6)
+            tiling = basic_tiling(tree, nt)
+            check_valid_tiling(tree, tiling, nt)
+
+    def test_single_leaf_tree(self):
+        b = TreeBuilder()
+        b.leaf(1.0)
+        assert basic_tiling(b.build(), 4) == []
+
+    def test_complete_tree_fast_tiling(self):
+        """On a complete tree, level-order tiling reproduces FAST's
+        triangular tiles: size-3 tiles covering two levels each."""
+        tree = complete_tree(4)
+        tiling = basic_tiling(tree, 3)
+        tiled = TiledTree.from_tiling(tree, tiling, 3)
+        # Levels 0-1 in the root tile, levels 2-3 in its children: leaves
+        # (level 4) land at tiled depth 2, halving the walk length.
+        assert tiled.max_leaf_depth == 2
+
+    def test_tile_sizes_bounded(self, rng):
+        tree = random_tree(rng, max_depth=7)
+        for tile in basic_tiling(tree, 4):
+            assert 1 <= len(tile) <= 4
+
+    def test_root_tile_contains_root(self, rng):
+        tree = random_tree(rng, max_depth=5)
+        tiling = basic_tiling(tree, 4)
+        if tiling:
+            assert 0 in tiling[0]
+
+    def test_chain_tree_groups_chain_nodes(self):
+        tree = chain_tree(8)
+        tiling = basic_tiling(tree, 4)
+        # A chain of 8 internal nodes must form exactly two full tiles.
+        assert sorted(len(t) for t in tiling) == [4, 4]
+
+
+class TestProbabilityTiling:
+    @pytest.mark.parametrize("nt", [1, 2, 4, 8])
+    def test_valid_on_random_trees(self, rng, nt):
+        for _ in range(10):
+            tree = random_tree(rng, max_depth=6)
+            tree.node_probability = uniform_node_probabilities(tree)
+            tiling = probability_tiling(tree, nt)
+            check_valid_tiling(tree, tiling, nt)
+
+    def test_uses_uniform_fallback_without_stats(self, rng):
+        tree = random_tree(rng, max_depth=5)
+        tree.node_probability = None
+        tiling = probability_tiling(tree, 4)
+        check_valid_tiling(tree, tiling, 4)
+
+    def test_hot_path_shortened(self):
+        """With mass concentrated on the deep-left path, probability tiling
+        must put the hot leaf at a shallower tiled depth than basic tiling."""
+        tree = chain_tree(8)
+        rows = np.full((100, 1), -100.0)  # all rows walk the full left chain
+        tree.node_probability = leaf_probabilities(tree, rows)
+        nt = 4
+        prob_tiled = TiledTree.from_tiling(tree, probability_tiling(tree, nt), nt)
+        basic_tiled = TiledTree.from_tiling(tree, basic_tiling(tree, nt), nt)
+        assert prob_tiled.expected_walk_length() <= basic_tiled.expected_walk_length()
+
+    def test_expected_walk_length_objective(self, rng):
+        """Probability tiling should never lose badly to basic tiling on the
+        objective it optimizes (expected tiles per walk)."""
+        for _ in range(5):
+            tree = random_tree(rng, max_depth=7, leaf_prob=0.4)
+            rows = rng.normal(size=(300, 8))
+            tree.node_probability = leaf_probabilities(tree, rows)
+            nt = 4
+            p = TiledTree.from_tiling(tree, probability_tiling(tree, nt), nt)
+            b = TiledTree.from_tiling(tree, basic_tiling(tree, nt), nt)
+            assert p.expected_walk_length() <= b.expected_walk_length() + 1.0
+
+    def test_shape_mismatch_rejected(self):
+        tree = complete_tree(2)
+        with pytest.raises(TilingError):
+            probability_tiling(tree, 4, probabilities=np.ones(2))
+
+
+class TestHybridTiling:
+    def test_unbiased_tree_uses_basic(self, rng):
+        tree = random_tree(rng, max_depth=5)
+        rows = rng.normal(size=(200, 8))
+        tree.node_probability = leaf_probabilities(tree, rows)
+        assert hybrid_tiling(tree, 4, alpha=1e-9, beta=0.9) == basic_tiling(tree, 4)
+
+    def test_biased_tree_uses_probability(self):
+        tree = chain_tree(6)
+        rows = np.full((100, 1), -100.0)
+        tree.node_probability = leaf_probabilities(tree, rows)
+        assert hybrid_tiling(tree, 3, alpha=0.5, beta=0.9) == probability_tiling(tree, 3)
+
+    def test_without_stats_uses_basic(self, rng):
+        tree = random_tree(rng, max_depth=4)
+        tree.node_probability = None
+        assert hybrid_tiling(tree, 4) == basic_tiling(tree, 4)
+
+
+class TestValidityChecker:
+    def _tree(self):
+        return complete_tree(3)
+
+    def test_missing_node_rejected(self):
+        tree = self._tree()
+        tiling = basic_tiling(tree, 2)
+        with pytest.raises(TilingError, match="[Pp]artitioning"):
+            check_valid_tiling(tree, tiling[:-1], 2)
+
+    def test_duplicate_node_rejected(self):
+        tree = self._tree()
+        tiling = basic_tiling(tree, 2)
+        bad = tiling + [tiling[0]]
+        with pytest.raises(TilingError, match="[Pp]artitioning|multiple"):
+            check_valid_tiling(tree, bad, 2)
+
+    def test_leaf_in_tile_rejected(self):
+        tree = self._tree()
+        leaf = int(tree.leaves()[0])
+        tiling = basic_tiling(tree, 2)
+        bad = [list(tiling[0]) + [leaf]] + tiling[1:]
+        with pytest.raises(TilingError, match="[Ll]eaf separation"):
+            check_valid_tiling(tree, bad, 3)
+
+    def test_oversized_tile_rejected(self):
+        tree = self._tree()
+        tiling = basic_tiling(tree, 4)
+        with pytest.raises(TilingError, match="exceed"):
+            check_valid_tiling(tree, tiling, 2)
+
+    def test_disconnected_tile_rejected(self):
+        tree = self._tree()
+        # Root plus a grandchild (skipping the child) is not connected.
+        grandchild = int(tree.left[tree.left[0]])
+        others = [n for n in map(int, tree.internal_nodes()) if n not in (0, grandchild)]
+        bad = [[0, grandchild]] + [[n] for n in others]
+        with pytest.raises(TilingError, match="onnected"):
+            check_valid_tiling(tree, bad, 2)
+
+    def test_non_maximal_tile_rejected(self):
+        tree = self._tree()
+        # Singleton tiles with tile size 2 violate maximality wherever a
+        # tile borders a non-leaf node.
+        bad = [[int(n)] for n in tree.internal_nodes()]
+        with pytest.raises(TilingError, match="[Mm]aximal"):
+            check_valid_tiling(tree, bad, 2)
+
+    def test_empty_tile_rejected(self):
+        tree = self._tree()
+        with pytest.raises(TilingError, match="empty"):
+            check_valid_tiling(tree, [[]], 2)
+
+    def test_single_leaf_tree_requires_empty_tiling(self):
+        b = TreeBuilder()
+        b.leaf(1.0)
+        tree = b.build()
+        check_valid_tiling(tree, [], 4)
+        with pytest.raises(TilingError):
+            check_valid_tiling(tree, [[0]], 4)

@@ -1,0 +1,238 @@
+"""Unit tests for the training substrate (losses, histograms, GBDT, RF)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.forest.statistics import populate_node_probabilities
+from repro.training.gbdt import GBDTParams, train_gbdt
+from repro.training.histogram import (
+    BinnedMatrix,
+    NO_SPLIT,
+    bin_dataset,
+    build_histograms,
+    find_best_split,
+)
+from repro.training.losses import LogisticLoss, SoftmaxLoss, SquaredLoss, get_loss
+from repro.training.metrics import accuracy, logloss, rmse
+from repro.training.random_forest import RandomForestParams, train_random_forest
+
+
+class TestLosses:
+    def test_squared_gradients(self):
+        loss = SquaredLoss()
+        grad, hess = loss.gradients(np.array([1.0, 2.0]), np.array([0.0, 2.0]))
+        assert np.array_equal(grad, [1.0, 0.0])
+        assert np.array_equal(hess, [1.0, 1.0])
+
+    def test_squared_initial_score_is_mean(self):
+        assert SquaredLoss().initial_score(np.array([1.0, 3.0])) == 2.0
+
+    def test_logistic_gradient_at_zero(self):
+        loss = LogisticLoss()
+        grad, hess = loss.gradients(np.zeros(2), np.array([0.0, 1.0]))
+        assert np.allclose(grad, [0.5, -0.5])
+        assert np.allclose(hess, 0.25)
+
+    def test_logistic_initial_score_matches_base_rate(self):
+        y = np.array([1.0, 1.0, 0.0, 0.0])
+        assert LogisticLoss().initial_score(y) == pytest.approx(0.0)
+
+    def test_softmax_gradients_shape(self):
+        loss = SoftmaxLoss(3)
+        raw = np.zeros((4, 3))
+        grad, hess = loss.gradients(raw, np.array([0, 1, 2, 0]))
+        assert grad.shape == (4, 3)
+        assert np.allclose(grad.sum(axis=1), 0.0)
+
+    def test_softmax_requires_two_classes(self):
+        with pytest.raises(ModelError):
+            SoftmaxLoss(1)
+
+    def test_get_loss_dispatch(self):
+        assert isinstance(get_loss("regression"), SquaredLoss)
+        assert isinstance(get_loss("binary:logistic"), LogisticLoss)
+        assert isinstance(get_loss("multiclass", 3), SoftmaxLoss)
+        with pytest.raises(ModelError):
+            get_loss("huber")
+
+
+class TestBinning:
+    def test_bins_cover_data(self, rng):
+        X = rng.normal(size=(200, 3))
+        binned = bin_dataset(X, max_bins=16)
+        assert binned.codes.shape == X.shape
+        assert (binned.codes.max(axis=0) < binned.num_bins).all()
+
+    def test_threshold_realizes_split(self, rng):
+        X = rng.normal(size=(500, 1))
+        binned = bin_dataset(X, max_bins=8)
+        split_bin = 3
+        t = binned.threshold_for(0, split_bin)
+        goes_left_by_bin = binned.codes[:, 0] <= split_bin
+        goes_left_by_value = X[:, 0] < t
+        assert np.array_equal(goes_left_by_bin, goes_left_by_value)
+
+    def test_constant_feature_single_bin(self):
+        X = np.ones((50, 1))
+        binned = bin_dataset(X, max_bins=8)
+        assert binned.num_bins[0] == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            bin_dataset(np.zeros((0, 2)))
+
+    def test_bad_max_bins_rejected(self):
+        with pytest.raises(ModelError):
+            bin_dataset(np.zeros((5, 2)), max_bins=1)
+
+
+class TestSplitFinding:
+    def test_perfect_split_found(self):
+        X = np.concatenate([np.full((50, 1), -1.0), np.full((50, 1), 1.0)])
+        y = np.concatenate([np.zeros(50), np.ones(50)])
+        binned = bin_dataset(X, max_bins=4)
+        grad = (0.0 - y)  # residuals toward y from prediction 0
+        hess = np.ones(100)
+        ghist, hhist = build_histograms(binned, np.arange(100), grad, hess, 4)
+        decision = find_best_split(ghist, hhist, binned, 0.0, 0.0, 1.0)
+        assert decision.is_valid
+        assert decision.feature == 0
+        goes_left = X[:, 0] < decision.threshold
+        assert goes_left.sum() == 50
+
+    def test_no_split_on_constant_target(self):
+        X = np.linspace(0, 1, 50)[:, None]
+        binned = bin_dataset(X, max_bins=4)
+        grad = np.ones(50)
+        hess = np.ones(50)
+        ghist, hhist = build_histograms(binned, np.arange(50), grad, hess, 4)
+        decision = find_best_split(ghist, hhist, binned, 0.0, 1e-9, 1.0)
+        assert decision is NO_SPLIT or not decision.is_valid
+
+    def test_min_child_weight_respected(self):
+        X = np.concatenate([np.full((1, 1), -1.0), np.full((99, 1), 1.0)])
+        y = np.concatenate([np.zeros(1), np.ones(99)])
+        binned = bin_dataset(X, max_bins=4)
+        ghist, hhist = build_histograms(binned, np.arange(100), -y, np.ones(100), 4)
+        decision = find_best_split(ghist, hhist, binned, 0.0, 0.0, min_child_weight=5.0)
+        assert not decision.is_valid
+
+    def test_feature_mask(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        binned = bin_dataset(X, max_bins=8)
+        ghist, hhist = build_histograms(binned, np.arange(100), -y, np.ones(100), 8)
+        mask = np.array([False, True])
+        decision = find_best_split(ghist, hhist, binned, 0.0, -np.inf, 1.0, feature_mask=mask)
+        assert decision.feature == 1
+
+
+class TestGBDT:
+    def test_reduces_training_error(self, regression_data):
+        X, y = regression_data
+        forest = train_gbdt(X, y, GBDTParams(num_rounds=30, max_depth=4))
+        assert rmse(y, forest.predict(X)) < rmse(y, np.full_like(y, y.mean())) * 0.5
+
+    def test_respects_max_depth(self, regression_data):
+        X, y = regression_data
+        forest = train_gbdt(X, y, GBDTParams(num_rounds=5, max_depth=3))
+        assert forest.max_depth <= 3
+
+    def test_num_trees(self, regression_data):
+        X, y = regression_data
+        forest = train_gbdt(X, y, GBDTParams(num_rounds=7))
+        assert forest.num_trees == 7
+
+    def test_binary_classification_learns(self, regression_data):
+        X, y = regression_data
+        labels = (y > np.median(y)).astype(float)
+        forest = train_gbdt(
+            X, labels, GBDTParams(num_rounds=20, max_depth=4, objective="binary:logistic")
+        )
+        assert accuracy(labels, forest.predict(X)) > 0.85
+
+    def test_multiclass_learns(self, regression_data):
+        X, y = regression_data
+        labels = np.digitize(y, np.quantile(y, [0.33, 0.66])).astype(float)
+        forest = train_gbdt(
+            X,
+            labels,
+            GBDTParams(num_rounds=10, max_depth=4, objective="multiclass", num_classes=3),
+        )
+        assert forest.num_trees == 30
+        assert accuracy(labels, forest.predict(X)) > 0.7
+
+    def test_sample_weight_equivalent_to_duplication(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 3))
+        y = X[:, 0] + rng.normal(scale=0.01, size=60)
+        dup = np.concatenate([X, X[:10]]), np.concatenate([y, y[:10]])
+        weights = np.ones(60)
+        weights[:10] = 2.0
+        params = GBDTParams(num_rounds=3, max_depth=3, max_bins=16)
+        # Bin on identical data so cut points match: duplicated rows do not
+        # change quantiles much, so compare predictions loosely.
+        f_dup = train_gbdt(dup[0], dup[1], params)
+        f_w = train_gbdt(X, y, params, sample_weight=weights)
+        rows = rng.normal(size=(50, 3))
+        assert np.corrcoef(f_dup.raw_predict(rows), f_w.raw_predict(rows))[0, 1] > 0.95
+
+    def test_bad_weights_rejected(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ModelError):
+            train_gbdt(X, y, GBDTParams(num_rounds=1), sample_weight=np.zeros(len(y)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            train_gbdt(np.zeros((5, 2)), np.zeros(4))
+
+    def test_subsample_and_colsample(self, regression_data):
+        X, y = regression_data
+        forest = train_gbdt(
+            X, y, GBDTParams(num_rounds=5, max_depth=3, subsample=0.7, colsample=0.5)
+        )
+        assert forest.num_trees == 5
+
+    def test_probabilities_populated_during_training(self, regression_data):
+        X, y = regression_data
+        forest = train_gbdt(X, y, GBDTParams(num_rounds=2, max_depth=3))
+        # The builder records probabilities during growth.
+        assert forest.trees[0].node_probability is not None
+        assert forest.trees[0].node_probability[0] == pytest.approx(1.0)
+
+
+class TestRandomForest:
+    def test_learns_signal(self, regression_data):
+        X, y = regression_data
+        forest = train_random_forest(X, y, RandomForestParams(num_trees=20, max_depth=6))
+        assert rmse(y, forest.predict(X)) < np.std(y)
+
+    def test_leaf_values_scaled_by_tree_count(self, regression_data):
+        X, y = regression_data
+        forest = train_random_forest(X, y, RandomForestParams(num_trees=10, max_depth=3))
+        # Prediction magnitude should approximate y, not 10x y.
+        assert abs(np.mean(forest.predict(X)) - np.mean(y)) < np.std(y)
+
+    def test_no_bootstrap(self, regression_data):
+        X, y = regression_data
+        forest = train_random_forest(
+            X, y, RandomForestParams(num_trees=3, bootstrap=False, colsample=1.0)
+        )
+        assert forest.num_trees == 3
+
+
+class TestMetrics:
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_logloss_perfect(self):
+        assert logloss([1.0, 0.0], [1.0, 0.0]) < 1e-9
+
+    def test_accuracy_binary_probs(self):
+        assert accuracy(np.array([1, 0]), np.array([0.9, 0.2])) == 1.0
+
+    def test_accuracy_multiclass_matrix(self):
+        probs = np.array([[0.8, 0.1, 0.1], [0.1, 0.1, 0.8]])
+        assert accuracy(np.array([0, 2]), probs) == 1.0

@@ -1,0 +1,208 @@
+"""Unit tests for the DecisionTree data model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.forest.builder import TreeBuilder
+from repro.forest.tree import LEAF, NO_NODE, DecisionTree
+
+from conftest import random_tree
+
+
+def simple_tree() -> DecisionTree:
+    """x0 < 0.5 ? (x1 < -1 ? 1 : 2) : 3"""
+    return TreeBuilder.from_nested(
+        {
+            "feature": 0,
+            "threshold": 0.5,
+            "left": {"feature": 1, "threshold": -1.0, "left": {"value": 1.0}, "right": {"value": 2.0}},
+            "right": {"value": 3.0},
+        }
+    )
+
+
+class TestStructure:
+    def test_counts(self):
+        tree = simple_tree()
+        assert tree.num_nodes == 5
+        assert tree.num_leaves == 3
+        assert tree.root == 0
+
+    def test_is_leaf(self):
+        tree = simple_tree()
+        assert not tree.is_leaf(0)
+        leaves = tree.leaves()
+        assert all(tree.is_leaf(int(leaf)) for leaf in leaves)
+
+    def test_leaves_and_internal_partition(self):
+        tree = simple_tree()
+        ids = sorted(tree.leaves().tolist() + tree.internal_nodes().tolist())
+        assert ids == list(range(tree.num_nodes))
+
+    def test_children(self):
+        tree = simple_tree()
+        left, right = tree.children(0)
+        assert {left, right}.issubset(set(range(1, 5)))
+
+    def test_parents(self):
+        tree = simple_tree()
+        parents = tree.parents()
+        assert parents[0] == NO_NODE
+        for node in range(1, tree.num_nodes):
+            parent = int(parents[node])
+            assert node in tree.children(parent)
+
+    def test_depths(self):
+        tree = simple_tree()
+        depths = tree.depths()
+        assert depths[0] == 0
+        assert tree.max_depth == 2
+
+    def test_preorder_visits_all_once(self):
+        tree = simple_tree()
+        order = list(tree.iter_preorder())
+        assert sorted(order) == list(range(tree.num_nodes))
+        assert order[0] == 0
+
+    def test_level_order_depth_monotone(self):
+        tree = simple_tree()
+        depths = tree.depths()
+        order = [depths[n] for n in tree.iter_level_order()]
+        assert order == sorted(order)
+
+    def test_subtree_nodes(self):
+        tree = simple_tree()
+        left, _ = tree.children(0)
+        sub = tree.subtree_nodes(left)
+        assert left in sub
+        assert 0 not in sub
+
+    def test_structure_signature_ignores_parameters(self):
+        a = simple_tree()
+        b = simple_tree()
+        b.threshold = b.threshold + 1.0
+        b.value = b.value * 2
+        assert a.structure_signature() == b.structure_signature()
+
+    def test_structure_signature_differs_for_different_shapes(self):
+        a = simple_tree()
+        b = TreeBuilder.from_nested(
+            {"feature": 0, "threshold": 0.0, "left": {"value": 1.0}, "right": {"value": 2.0}}
+        )
+        assert a.structure_signature() != b.structure_signature()
+
+
+class TestPrediction:
+    def test_predict_row_goes_left_when_less(self):
+        tree = simple_tree()
+        assert tree.predict_row(np.array([0.0, -2.0])) == 1.0
+        assert tree.predict_row(np.array([0.0, 0.0])) == 2.0
+        assert tree.predict_row(np.array([1.0, 0.0])) == 3.0
+
+    def test_predicate_is_strict(self):
+        tree = simple_tree()
+        # x0 == threshold must go right (x < t is false).
+        assert tree.predict_row(np.array([0.5, 0.0])) == 3.0
+
+    def test_vectorized_matches_scalar(self, rng):
+        tree = random_tree(rng, max_depth=6)
+        rows = rng.normal(size=(200, 8))
+        vec = tree.predict(rows)
+        scalar = np.array([tree.predict_row(r) for r in rows])
+        assert np.array_equal(vec, scalar)
+
+    def test_leaves_for_rows_matches_leaf_for_row(self, rng):
+        tree = random_tree(rng, max_depth=5)
+        rows = rng.normal(size=(50, 8))
+        vec = tree.leaves_for_rows(rows)
+        scalar = np.array([tree.leaf_for_row(r) for r in rows])
+        assert np.array_equal(vec, scalar)
+
+    def test_single_leaf_tree(self):
+        tree = DecisionTree(
+            feature=[LEAF], threshold=[0.0], left=[NO_NODE], right=[NO_NODE], value=[42.0]
+        )
+        assert tree.predict_row(np.zeros(3)) == 42.0
+        assert np.array_equal(tree.predict(np.zeros((4, 3))), np.full(4, 42.0))
+
+
+class TestValidation:
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ModelError, match="no nodes"):
+            DecisionTree(feature=[], threshold=[], left=[], right=[], value=[])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ModelError, match="shape"):
+            DecisionTree(
+                feature=[0], threshold=[0.0, 1.0], left=[NO_NODE], right=[NO_NODE], value=[0.0]
+            )
+
+    def test_half_leaf_rejected(self):
+        with pytest.raises(ModelError, match="one child"):
+            DecisionTree(
+                feature=[0, LEAF],
+                threshold=[0.0, 0.0],
+                left=[1, NO_NODE],
+                right=[NO_NODE, NO_NODE],
+                value=[0.0, 1.0],
+            )
+
+    def test_multiple_parents_rejected(self):
+        with pytest.raises(ModelError, match="multiple parents"):
+            DecisionTree(
+                feature=[0, 0, LEAF],
+                threshold=[0.0, 0.0, 0.0],
+                left=[1, 2, NO_NODE],
+                right=[2, 2, NO_NODE],
+                value=[0.0, 0.0, 1.0],
+            )
+
+    def test_root_as_child_rejected(self):
+        with pytest.raises(ModelError, match="root"):
+            DecisionTree(
+                feature=[0, LEAF],
+                threshold=[0.0, 0.0],
+                left=[0, NO_NODE],
+                right=[1, NO_NODE],
+                value=[0.0, 1.0],
+            )
+
+    def test_out_of_range_child_rejected(self):
+        with pytest.raises(ModelError, match="range"):
+            DecisionTree(
+                feature=[0],
+                threshold=[0.0],
+                left=[5],
+                right=[6],
+                value=[0.0],
+            )
+
+    def test_negative_feature_on_internal_rejected(self):
+        with pytest.raises(ModelError, match="negative feature"):
+            DecisionTree(
+                feature=[-1, LEAF, LEAF],
+                threshold=[0.0] * 3,
+                left=[1, NO_NODE, NO_NODE],
+                right=[2, NO_NODE, NO_NODE],
+                value=[0.0, 1.0, 2.0],
+            )
+
+
+class TestSerialization:
+    def test_roundtrip(self, rng):
+        tree = random_tree(rng, max_depth=5)
+        clone = DecisionTree.from_dict(tree.to_dict())
+        assert clone.num_nodes == tree.num_nodes
+        rows = rng.normal(size=(20, 8))
+        assert np.array_equal(clone.predict(rows), tree.predict(rows))
+
+    def test_roundtrip_preserves_probabilities(self, rng):
+        tree = random_tree(rng, max_depth=4)
+        tree.node_probability = np.linspace(0, 1, tree.num_nodes)
+        clone = DecisionTree.from_dict(tree.to_dict())
+        assert np.allclose(clone.node_probability, tree.node_probability)
+
+    def test_repr_mentions_size(self):
+        tree = simple_tree()
+        assert "nodes=5" in repr(tree)
