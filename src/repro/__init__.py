@@ -19,7 +19,7 @@ Quickstart::
     predictions = predictor.predict(X)
 """
 
-from repro.api import compile_model, predict
+from repro.api import compile_model, predict, serve_model
 from repro.backend.predictor import Predictor
 from repro.config import Schedule
 from repro.errors import (
@@ -32,34 +32,47 @@ from repro.errors import (
     ModelParseError,
     ReproError,
     ScheduleError,
+    ServingError,
     TilingError,
 )
 from repro.forest.ensemble import Forest
 from repro.forest.tree import DecisionTree
+from repro.serve import (
+    BatchingPolicy,
+    InferenceSession,
+    ModelServer,
+    ServerConfig,
+)
 from repro.training.gbdt import GBDTParams, train_gbdt
 from repro.training.random_forest import RandomForestParams, train_random_forest
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchingPolicy",
     "CodegenError",
     "CompilerError",
     "DecisionTree",
     "ExecutionError",
     "Forest",
     "GBDTParams",
+    "InferenceSession",
     "LayoutError",
     "LoweringError",
     "ModelError",
     "ModelParseError",
+    "ModelServer",
     "Predictor",
     "RandomForestParams",
     "ReproError",
     "Schedule",
     "ScheduleError",
+    "ServerConfig",
+    "ServingError",
     "TilingError",
     "compile_model",
     "predict",
+    "serve_model",
     "train_gbdt",
     "train_random_forest",
     "__version__",

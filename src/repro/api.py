@@ -64,3 +64,18 @@ def compile_model(
 def predict(forest: Forest, rows: np.ndarray, schedule: Schedule | None = None) -> np.ndarray:
     """One-shot convenience: compile ``forest`` and predict ``rows``."""
     return compile_model(forest, schedule).predict(rows)
+
+
+def serve_model(forest: Forest, schedule: Schedule | None = None, **session_kwargs):
+    """Wrap ``forest`` in a serving :class:`~repro.serve.session.InferenceSession`.
+
+    Unlike :func:`compile_model`, the session compiles through the predictor
+    cache (re-serving a fingerprint-identical model is free), can coalesce
+    concurrent requests into micro-batches (pass
+    ``batching=repro.serve.BatchingPolicy()``), and degrades to the
+    reference interpreter on codegen failure instead of raising. For
+    multi-model deployments use :class:`repro.serve.ModelServer` directly.
+    """
+    from repro.serve.session import InferenceSession
+
+    return InferenceSession(forest, schedule, **session_kwargs)

@@ -119,19 +119,26 @@ class _GroupEmitter:
         self.layout = group.layout
         self.width = self.layout.thresholds.shape[2]
         self.lut_cols = lir.lut.shape[1]
+        self.has_dummy = lir.dummy_shape_id is not None
+        # Number of LUT rows describing *real* tile shapes (the reserved
+        # dummy row routes data-independently and is handled by masking).
+        self.real_shapes = lir.lut.shape[0] - (1 if self.has_dummy else 0)
 
     # -- shared op fragments ------------------------------------------
     def eval_tile(self, idx: str, feat_index: str) -> None:
         """The evaluateTilePredicates sequence at flat tile indices ``idx``.
 
         Model-specific specialization (the compiler knows the tiled model
-        statically): when every tile in the model shares one shape, the
-        shape load is elided and the LUT collapses to its single row; for
-        tile size 1 the whole lookup folds to ``1 - bit`` (true goes to
-        child 0, the left subtree).
+        statically): when every real tile in the model shares one shape,
+        the shape load + full LUT lookup are elided — the LUT collapses to
+        its single real row, and for tile size 1 the whole lookup folds to
+        ``1 - bit`` (true goes to child 0, the left subtree). If the model
+        also contains dummy (padding/hop) tiles, a 0/1 non-dummy mask
+        forces their child index to 0 regardless of the speculative
+        comparisons (which can be false for ``+inf`` inputs).
         """
         e, g = self.e, self.g
-        single_shape = self.lir.lut.shape[0] == 1
+        single_shape = self.real_shapes == 1
         e.emit(f"thr = _np.take({g}_th, {idx}, axis=0)")    # loadThresholds
         e.emit(f"fidx = _np.take({g}_fi, {idx}, axis=0)")   # loadFeatureIndices
         e.emit(f"feat = _np.take({self._rowsrc()}, {feat_index})")  # gatherFeatures
@@ -139,13 +146,20 @@ class _GroupEmitter:
         if single_shape and self.width == 1:
             # packBits + lookupChildIndex folded into one arithmetic op.
             e.emit("ci = 1 - cmp[..., 0]")
+            self._mask_dummies(idx)
             return
         e.emit(f"bits = {_pack_bits_expr(self.width)}")     # packBits
         if single_shape:
-            e.emit("ci = _np.take(lut, bits)")              # lookupChildIndex
+            e.emit("ci = _np.take(lut1, bits)")             # lookupChildIndex
+            self._mask_dummies(idx)
             return
         e.emit(f"sid = _np.take({g}_sid, {idx})")           # loadTileShape
         e.emit(f"ci = _np.take(lut, sid * {self.lut_cols} + bits)")  # lookupChildIndex
+
+    def _mask_dummies(self, idx: str) -> None:
+        """Zero the child index at dummy tiles (single-real-shape paths)."""
+        if self.has_dummy:
+            self.e.emit(f"ci *= _np.take({self.g}_nd, {idx})")
 
     def _rowsrc(self) -> str:
         return "rowsf" if self.vec else "row"
@@ -351,6 +365,14 @@ def build_namespace(lir: LIRModule) -> dict:
     ``shape_id * row_length + bits``.
     """
     ns: dict = {"_np": np, "lut": np.ascontiguousarray(lir.lut, dtype=np.int64).reshape(-1)}
+    dummy_sid = lir.dummy_shape_id
+    has_dummy = dummy_sid is not None
+    single_real = lir.lut.shape[0] - (1 if has_dummy else 0) == 1
+    if single_real:
+        # Single-real-shape specialization: the LUT collapses to the real
+        # row; dummy tiles are masked via the per-group `_nd` buffers below.
+        real_sid = next(i for i in range(lir.lut.shape[0]) if i != dummy_sid)
+        ns["lut1"] = np.ascontiguousarray(lir.lut[real_sid], dtype=np.int64)
     for group in lir.groups:
         g = f"g{group.group_id}"
         layout = group.layout
@@ -374,6 +396,12 @@ def build_namespace(lir: LIRModule) -> dict:
             layout.features.reshape(k * tiles, width), dtype=np.int64
         )
         ns[f"{g}_sid"] = layout.shape_ids.reshape(-1).astype(np.int64)
+        if single_real and has_dummy:
+            # 0 at dummy tiles, 1 elsewhere: forces dummy child index to 0
+            # independent of the (speculative) padding comparisons.
+            ns[f"{g}_nd"] = (
+                layout.shape_ids.reshape(-1) != dummy_sid
+            ).astype(np.int64)
         ns[f"{g}_laneT"] = np.arange(k, dtype=np.int64) * tiles
         if layout.kind == "sparse":
             ns[f"{g}_cb"] = layout.child_base.reshape(-1).astype(np.int64)

@@ -6,28 +6,55 @@ a namespace holding the model buffers. Code objects are cached by source
 text, so models that lower to identical code (e.g. the same schedule on
 isomorphic models) share compilation work — the payoff of tree reordering's
 code sharing, at the module level.
+
+The cache is a bounded, thread-safe LRU: a long-lived server compiling many
+distinct models must not grow it without limit. The serving layer
+(:mod:`repro.serve`) keys whole predictors one level up by
+:func:`model_fingerprint`, a stable hash of the forest structure plus the
+schedule, so re-registering an isomorphic model is a cache hit before any
+lowering happens.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable
 
 from repro.backend.codegen import build_namespace, emit_module_source
 from repro.errors import CodegenError
 from repro.lir.ir import LIRModule
 
-_CODE_CACHE: dict[str, object] = {}
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.config import Schedule
+    from repro.forest.ensemble import Forest
+
+#: Default bound on distinct compiled sources kept alive.
+DEFAULT_CODE_CACHE_CAP = 256
+
+_CODE_CACHE: "OrderedDict[str, object]" = OrderedDict()
+_CACHE_CAP = DEFAULT_CODE_CACHE_CAP
+_CACHE_LOCK = threading.Lock()
 
 
 def compile_source(source: str, namespace: dict) -> Callable:
     """Compile ``source`` and return its ``predict_block`` bound to ``namespace``."""
-    code = _CODE_CACHE.get(source)
+    with _CACHE_LOCK:
+        code = _CODE_CACHE.get(source)
+        if code is not None:
+            _CODE_CACHE.move_to_end(source)
     if code is None:
         try:
             code = compile(source, filename="<repro-jit>", mode="exec")
         except SyntaxError as exc:  # codegen bug: surface the source context
             raise CodegenError(f"generated source failed to compile: {exc}") from exc
-        _CODE_CACHE[source] = code
+        with _CACHE_LOCK:
+            _CODE_CACHE[source] = code
+            _CODE_CACHE.move_to_end(source)
+            while len(_CODE_CACHE) > _CACHE_CAP:
+                _CODE_CACHE.popitem(last=False)
     exec(code, namespace)
     fn = namespace.get("predict_block")
     if fn is None:
@@ -44,4 +71,50 @@ def compile_lir(lir: LIRModule) -> tuple[Callable, str]:
 
 def cache_size() -> int:
     """Number of distinct compiled sources (for tests/diagnostics)."""
-    return len(_CODE_CACHE)
+    with _CACHE_LOCK:
+        return len(_CODE_CACHE)
+
+
+def cache_limit() -> int:
+    """Current bound on the code cache."""
+    return _CACHE_CAP
+
+
+def set_cache_limit(cap: int) -> int:
+    """Set the LRU bound; returns the previous bound.
+
+    Shrinking below the current population evicts least-recently-used
+    entries immediately.
+    """
+    global _CACHE_CAP
+    if cap < 1:
+        raise ValueError(f"cache limit must be >= 1, got {cap}")
+    with _CACHE_LOCK:
+        previous, _CACHE_CAP = _CACHE_CAP, cap
+        while len(_CODE_CACHE) > _CACHE_CAP:
+            _CODE_CACHE.popitem(last=False)
+    return previous
+
+
+def clear_cache() -> None:
+    """Drop every cached code object (tests/benchmark hygiene)."""
+    with _CACHE_LOCK:
+        _CODE_CACHE.clear()
+
+
+def model_fingerprint(forest: "Forest", schedule: "Schedule | None" = None) -> str:
+    """Stable content hash of ``forest`` (and optionally ``schedule``).
+
+    Two forests with identical structure and parameters — e.g. one
+    serialized and re-loaded, or re-trained deterministically — produce the
+    same fingerprint, so a predictor cache keyed on it turns re-registration
+    into a cache hit without lowering anything. The hash covers everything
+    ``Forest.to_dict`` serializes (splits, thresholds, leaf values, node
+    probabilities, objective, base score) plus the schedule's repr, which
+    for a frozen dataclass enumerates every optimization knob.
+    """
+    payload = json.dumps(forest.to_dict(), sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode())
+    if schedule is not None:
+        digest.update(repr(schedule).encode())
+    return digest.hexdigest()

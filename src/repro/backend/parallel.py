@@ -25,8 +25,14 @@ import numpy as np
 
 
 def row_blocks(num_rows: int, num_blocks: int) -> list[tuple[int, int]]:
-    """Split ``num_rows`` into ``num_blocks`` near-equal contiguous ranges."""
-    num_blocks = max(1, min(num_blocks, num_rows)) if num_rows else 1
+    """Split ``num_rows`` into ``num_blocks`` near-equal contiguous ranges.
+
+    Zero rows yield zero blocks: callers must treat an empty batch as "no
+    work", not as one degenerate block.
+    """
+    if num_rows <= 0:
+        return []
+    num_blocks = max(1, min(num_blocks, num_rows))
     bounds = np.linspace(0, num_rows, num_blocks + 1).astype(np.int64)
     return [(int(bounds[i]), int(bounds[i + 1])) for i in range(num_blocks)]
 
@@ -39,7 +45,9 @@ def parallel_predict(
 ) -> np.ndarray:
     """Run ``kernel`` over row blocks on a thread pool; returns ``out``."""
     blocks = row_blocks(rows.shape[0], num_threads)
-    if len(blocks) <= 1:
+    if not blocks:
+        return out
+    if len(blocks) == 1:
         kernel(rows, out)
         return out
     with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
@@ -83,6 +91,8 @@ class MulticoreSimulator:
         """Execute all blocks serially; return ``(out, simulated_seconds)``."""
         effective = max(1, int(round(cores * self.utilization)))
         blocks = row_blocks(rows.shape[0], effective)
+        if not blocks:
+            return out, 0.0
         times = []
         for lo, hi in blocks:
             start = time.perf_counter()

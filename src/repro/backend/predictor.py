@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backend.jit import compile_lir
+from repro.backend.jit import compile_lir, model_fingerprint
 from repro.backend.parallel import MulticoreSimulator, parallel_predict
 from repro.config import Schedule
 from repro.errors import ExecutionError
@@ -28,6 +28,7 @@ class Predictor:
         self.schedule: Schedule = lir.schedule
         self.validate_inputs = validate_inputs
         self.kernel, self.source = compile_lir(lir)
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Inference
@@ -48,12 +49,19 @@ class Predictor:
     def _alloc_out(self, n: int) -> np.ndarray:
         return np.full((n, self.lir.num_classes), self.lir.base_score, dtype=np.float64)
 
-    def raw_predict(self, rows: np.ndarray) -> np.ndarray:
-        """Raw margins; matches ``Forest.raw_predict`` up to accumulation order."""
+    def raw_predict(self, rows: np.ndarray, threads: int | None = None) -> np.ndarray:
+        """Raw margins; matches ``Forest.raw_predict`` up to accumulation order.
+
+        ``threads`` overrides the schedule's parallel degree for this call —
+        the serving layer uses it to pick a fan-out per micro-batch without
+        recompiling the kernel.
+        """
         rows = self._check(rows)
         out = self._alloc_out(rows.shape[0])
-        threads = self.schedule.parallel
-        if threads > 1:
+        threads = self.schedule.parallel if threads is None else max(1, int(threads))
+        if rows.shape[0] == 0:
+            pass  # empty batch: correctly-shaped output, no kernel launch
+        elif threads > 1:
             parallel_predict(self._run_blocks, rows, out, threads)
         else:
             self._run_blocks(rows, out)
@@ -65,9 +73,9 @@ class Predictor:
             hi = min(lo + block, rows.shape[0])
             self.kernel(rows[lo:hi], out[lo:hi])
 
-    def predict(self, rows: np.ndarray) -> np.ndarray:
+    def predict(self, rows: np.ndarray, threads: int | None = None) -> np.ndarray:
         """Objective-transformed predictions (probabilities for classifiers)."""
-        raw = self.raw_predict(rows)
+        raw = self.raw_predict(rows, threads=threads)
         if self.forest.objective == "binary:logistic":
             return sigmoid(raw)
         if self.forest.objective == "multiclass":
@@ -92,6 +100,13 @@ class Predictor:
     def generated_source(self) -> str:
         """The JIT-compiled Python/NumPy source of ``predict_block``."""
         return self.source
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable (model, schedule) content hash; the serving cache key."""
+        if self._fingerprint is None:
+            self._fingerprint = model_fingerprint(self.forest, self.schedule)
+        return self._fingerprint
 
     def memory_bytes(self) -> int:
         """Model-buffer footprint of the chosen in-memory representation."""

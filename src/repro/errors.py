@@ -46,3 +46,13 @@ class ScheduleError(CompilerError):
 
 class ExecutionError(ReproError):
     """A compiled predictor failed at inference time."""
+
+
+class ServingError(ReproError):
+    """The serving layer rejected or could not complete a request.
+
+    Raised for serving-policy failures — an unknown model name, a full or
+    closed micro-batch queue, a submit timeout — as opposed to compiler or
+    kernel failures, which keep their own classes (and are absorbed by the
+    interpreter fallback when ``repro.serve`` is allowed to degrade).
+    """

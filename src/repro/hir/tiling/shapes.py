@@ -29,6 +29,12 @@ from repro.errors import TilingError
 #: A canonical shape: one (left, right) intra-tile index pair per node.
 ShapeKey = tuple[tuple[int, int], ...]
 
+#: Reserved shape for dummy (padding/hop) tiles. Its LUT row maps *every*
+#: predicate-outcome pattern to child 0, so dummy routing is independent of
+#: the speculative comparisons — in particular it stays correct for ``+inf``
+#: inputs, where the padding predicate ``x < +inf`` is false.
+DUMMY_SHAPE: ShapeKey = ()
+
 
 def storage_width(tile_size: int) -> int:
     """Tile storage lanes: smallest power of two >= ``tile_size``.
@@ -258,7 +264,15 @@ class ShapeRegistry:
         self._ids: dict[ShapeKey, int] = {}
 
     def register(self, shape: ShapeKey) -> int:
-        """Return the id for ``shape``, assigning a new one if unseen."""
+        """Return the id for ``shape``, assigning a new one if unseen.
+
+        :data:`DUMMY_SHAPE` is accepted as a reserved key whose LUT row is
+        all zeros (dummy tiles always route to child 0, data-independently).
+        """
+        if shape == DUMMY_SHAPE:
+            if shape not in self._ids:
+                self._ids[shape] = len(self._ids)
+            return self._ids[shape]
         if len(shape) > self.tile_size:
             raise TilingError(
                 f"shape has {len(shape)} nodes but tile size is {self.tile_size}"
@@ -271,6 +285,11 @@ class ShapeRegistry:
     @property
     def num_shapes(self) -> int:
         return len(self._ids)
+
+    @property
+    def dummy_id(self) -> int | None:
+        """The id assigned to :data:`DUMMY_SHAPE`, or None if unused."""
+        return self._ids.get(DUMMY_SHAPE)
 
     def shapes(self) -> list[ShapeKey]:
         """All registered shapes in id order."""
@@ -291,6 +310,8 @@ class ShapeRegistry:
         n_patterns = 1 << width
         lut = np.zeros((max(self.num_shapes, 1), n_patterns), dtype=np.int8)
         for shape, sid in self._ids.items():
+            if shape == DUMMY_SHAPE:
+                continue  # row stays zeros: every pattern routes to child 0
             k = len(shape)
             # Child index depends only on the low k bits; compute those once
             # and broadcast over the ignored high bits.

@@ -55,6 +55,10 @@ class LIRModule:
     num_features: int
     num_classes: int
     base_score: float
+    #: LUT row reserved for dummy (padding/hop) tiles, None if the model
+    #: has no dummy tiles. Lets the backend specialize on the number of
+    #: *real* shapes while keeping dummy routing data-independent.
+    dummy_shape_id: int | None = None
     pass_log: list[str] = field(default_factory=list)
 
     @property

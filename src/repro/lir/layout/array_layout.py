@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import LayoutError
-from repro.hir.tiling.shapes import ShapeRegistry, storage_width
+from repro.hir.tiling.shapes import DUMMY_SHAPE, ShapeRegistry, storage_width
 from repro.hir.tiling.tile import TiledTree
 
 #: shape-id sentinel for leaf slots
@@ -139,12 +139,14 @@ def build_array_layout(
                 shape_ids[lane, slot] = LEAF_SLOT
                 leaf_values[lane, slot] = tree.value[tile.nodes[0]]
                 continue
-            shape_ids[lane, slot] = registry.register(tile.shape)
+            # Dummy tiles route to child 0 through the reserved all-zeros
+            # LUT row, independent of the +inf / feature-0 fill.
+            shape_ids[lane, slot] = registry.register(
+                DUMMY_SHAPE if tile.is_dummy else tile.shape
+            )
             for pos, node in enumerate(tile.nodes):
                 thresholds[lane, slot, pos] = tree.threshold[node]
                 features[lane, slot, pos] = tree.feature[node]
-            # Dummy tiles have no nodes: the +inf / feature-0 fill already
-            # encodes their always-true predicates.
     return ArrayGroupLayout(
         tile_size=nt,
         tree_indices=list(tree_indices),

@@ -8,8 +8,8 @@ the pointer. Leaf values live in a separate scalar array:
   into the leaves array (encoded as ``-(leaf_base) - 1``) and the selected
   leaf is ``leaf_base + child_index``;
 * a leaf whose siblings are not all leaves gets an extra "hop": the leaf
-  tile becomes a dummy tile (always-true predicates route to child 0) whose
-  single child is the value in the leaves array.
+  tile becomes a dummy tile (its all-zeros LUT row routes every predicate
+  pattern to child 0) whose single child is the value in the leaves array.
 
 This eliminates both sources of array-layout bloat — leaf tiles stored as
 full tiles and the empty slots of positional indexing — at the cost of one
@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import LayoutError
-from repro.hir.tiling.shapes import ShapeRegistry, left_chain_shape, storage_width
+from repro.hir.tiling.shapes import DUMMY_SHAPE, ShapeRegistry, storage_width
 from repro.hir.tiling.tile import TiledTree
 
 
@@ -84,7 +84,7 @@ class SparseGroupLayout:
         )
 
 
-def _flatten_tree(tiled: TiledTree, chain_shape) -> tuple[list, list, int]:
+def _flatten_tree(tiled: TiledTree) -> tuple[list, list, int]:
     """Flatten one tiled tree into sparse records.
 
     Returns ``(tile_records, leaf_values, hops)`` where each tile record is
@@ -104,7 +104,7 @@ def _flatten_tree(tiled: TiledTree, chain_shape) -> tuple[list, list, int]:
     def append_record(kind: str, tid: int) -> int:
         tile = tiled.tiles[tid]
         if kind == "hop" or tile.is_dummy:
-            records.append({"shape": chain_shape, "nodes": (), "base": 0})
+            records.append({"shape": DUMMY_SHAPE, "nodes": (), "base": 0})
         else:
             records.append({"shape": tile.shape, "nodes": tile.nodes, "base": 0})
         return len(records) - 1
@@ -152,7 +152,6 @@ def build_sparse_layout(
     if not tree_indices:
         raise LayoutError("cannot build a layout for an empty group")
     nt = tiled_trees[tree_indices[0]].tile_size
-    chain_shape = left_chain_shape(nt)
 
     per_tree = []
     total_hops = 0
@@ -163,7 +162,7 @@ def build_sparse_layout(
         if tiled.root.is_leaf:
             per_tree.append(([], [float(tiled.tree.value[tiled.root.nodes[0]])], 0, True))
             continue
-        records, leaf_values, hops = _flatten_tree(tiled, chain_shape)
+        records, leaf_values, hops = _flatten_tree(tiled)
         total_hops += hops
         per_tree.append((records, leaf_values, hops, False))
 

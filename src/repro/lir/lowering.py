@@ -56,6 +56,7 @@ def lower_mir_to_lir(mir: MIRModule, hir: HIRModule) -> LIRModule:
         mir=mir,
         groups=groups,
         lut=lut,
+        dummy_shape_id=hir.shape_registry.dummy_id,
         num_features=forest.num_features,
         num_classes=forest.num_classes,
         base_score=forest.base_score,

@@ -1,0 +1,47 @@
+"""Production serving layer over the compiler (the deployment north star).
+
+The paper compiles a model once and amortizes that cost over millions of
+batch-inference calls; this package supplies the runtime that realizes the
+amortization in a live system:
+
+* :class:`~repro.serve.cache.PredictorCache` — compiled predictors keyed by
+  a stable model+schedule fingerprint, bounded LRU, one compile per key even
+  under concurrent registration.
+* :class:`~repro.serve.batching.MicroBatcher` — concurrent requests coalesce
+  into micro-batches on a bounded queue and run through the row-blocked
+  parallel path.
+* :class:`~repro.serve.session.InferenceSession` — one served model:
+  compile-once, predict-many, interpreter fallback on codegen failure.
+* :class:`~repro.serve.server.ModelServer` — named multi-model registry
+  sharing one cache and one metrics surface.
+
+Quickstart::
+
+    from repro.serve import ModelServer, ServerConfig, BatchingPolicy
+
+    server = ModelServer(ServerConfig(batching=BatchingPolicy()))
+    server.register("ranker", forest)
+    probs = server.predict("ranker", rows)
+    print(server.metrics_snapshot())
+"""
+
+from repro.serve.batching import BatchingPolicy, MicroBatcher
+from repro.serve.cache import DEFAULT_PREDICTOR_CACHE_CAP, PredictorCache
+from repro.serve.fallback import InterpreterPredictor, ReferencePredictor
+from repro.serve.metrics import LatencyWindow, ServingMetrics
+from repro.serve.server import ModelServer, ServerConfig
+from repro.serve.session import InferenceSession
+
+__all__ = [
+    "BatchingPolicy",
+    "DEFAULT_PREDICTOR_CACHE_CAP",
+    "InferenceSession",
+    "InterpreterPredictor",
+    "LatencyWindow",
+    "MicroBatcher",
+    "ModelServer",
+    "PredictorCache",
+    "ReferencePredictor",
+    "ServerConfig",
+    "ServingMetrics",
+]

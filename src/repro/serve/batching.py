@@ -1,0 +1,202 @@
+"""Request coalescing: micro-batching for the serving layer.
+
+The compiler's entire premise is that batch inference amortizes per-call
+overhead (Section II) — so the server should never run a compiled kernel on
+one row if ten requests are waiting. :class:`MicroBatcher` owns a bounded
+queue and a worker thread: the worker takes the oldest pending request,
+drains whatever else arrives within ``max_delay_s`` (up to
+``max_batch_rows``), stacks the rows into one contiguous batch, runs the
+kernel once, and scatters the per-request slices back through futures.
+
+Requests never interleave rows: each request's rows occupy one contiguous
+slice of the batch, so per-row results are identical to a solo run (the
+kernels are row-parallel). Exceptions during a batch are delivered to every
+request in that batch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serve.metrics import ServingMetrics
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Knobs for the micro-batcher.
+
+    Attributes
+    ----------
+    max_batch_rows:
+        Stop coalescing once the assembled batch reaches this many rows.
+        The batch may exceed it by the final request's rows (requests are
+        never split).
+    max_delay_s:
+        How long the worker waits for more requests after the first one —
+        the latency the slowest request in a batch pays for coalescing.
+    queue_depth:
+        Bound on queued (not yet batched) requests; backpressure beyond it.
+    submit_timeout_s:
+        How long ``submit`` blocks on a full queue before raising
+        :class:`~repro.errors.ServingError`.
+    """
+
+    max_batch_rows: int = 1024
+    max_delay_s: float = 0.002
+    queue_depth: int = 1024
+    submit_timeout_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_rows < 1:
+            raise ServingError("max_batch_rows must be >= 1")
+        if self.max_delay_s < 0:
+            raise ServingError("max_delay_s must be >= 0")
+        if self.queue_depth < 1:
+            raise ServingError("queue_depth must be >= 1")
+
+
+class _Request:
+    __slots__ = ("rows", "future")
+
+    def __init__(self, rows: np.ndarray, future: Future) -> None:
+        self.rows = rows
+        self.future = future
+
+
+_STOP = object()
+
+
+class MicroBatcher:
+    """Coalesce concurrent predict calls into micro-batches.
+
+    ``run_batch`` receives one 2-D float64 row block and returns the
+    per-row result array (1-D or 2-D); it runs only on the single worker
+    thread, so it needs no internal locking.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[np.ndarray], np.ndarray],
+        policy: BatchingPolicy | None = None,
+        metrics: ServingMetrics | None = None,
+        name: str = "repro-batcher",
+    ) -> None:
+        self.run_batch = run_batch
+        self.policy = policy or BatchingPolicy()
+        self.metrics = metrics or ServingMetrics()
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=self.policy.queue_depth)
+        self._closed = threading.Event()
+        self._worker = threading.Thread(target=self._loop, name=name, daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, rows: np.ndarray) -> Future:
+        """Enqueue ``rows``; the future resolves to their result slice."""
+        if self._closed.is_set():
+            raise ServingError("micro-batcher is closed")
+        future: Future = Future()
+        rows = np.asarray(rows)
+        if rows.ndim == 2 and rows.shape[0] == 0:
+            # Nothing to coalesce: resolve immediately with an empty result.
+            future.set_result(self.run_batch(rows))
+            return future
+        try:
+            self._queue.put(_Request(rows, future), timeout=self.policy.submit_timeout_s)
+        except queue.Full:
+            raise ServingError(
+                f"micro-batch queue full ({self.policy.queue_depth} pending); "
+                "backpressure exceeded submit_timeout_s"
+            ) from None
+        return future
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        """Blocking convenience: ``submit`` + wait."""
+        return self.submit(rows).result()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            batch = [item]
+            num_rows = item.rows.shape[0]
+            deadline = time.monotonic() + self.policy.max_delay_s
+            stop_after = False
+            while num_rows < self.policy.max_batch_rows:
+                remaining = deadline - time.monotonic()
+                try:
+                    nxt = self._queue.get(timeout=max(0.0, remaining)) if remaining > 0 \
+                        else self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    stop_after = True
+                    break
+                batch.append(nxt)
+                num_rows += nxt.rows.shape[0]
+            self._execute(batch, num_rows)
+            if stop_after:
+                break
+        self._drain_rejecting()
+
+    def _execute(self, batch: list[_Request], num_rows: int) -> None:
+        self.metrics.record_batch(num_rows, len(batch))
+        try:
+            if len(batch) == 1:
+                results = self.run_batch(batch[0].rows)
+            else:
+                stacked = np.concatenate([req.rows for req in batch], axis=0)
+                results = self.run_batch(stacked)
+        except BaseException as exc:
+            for req in batch:
+                if not req.future.set_running_or_notify_cancel():
+                    continue
+                req.future.set_exception(exc)
+            return
+        offset = 0
+        for req in batch:
+            n = req.rows.shape[0]
+            if req.future.set_running_or_notify_cancel():
+                req.future.set_result(results[offset : offset + n])
+            offset += n
+
+    def _drain_rejecting(self) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                continue
+            if item.future.set_running_or_notify_cancel():
+                item.future.set_exception(ServingError("micro-batcher closed"))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float | None = 5.0) -> None:
+        """Stop the worker; pending requests fail with ``ServingError``."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(_STOP)
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

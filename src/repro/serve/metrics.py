@@ -1,0 +1,170 @@
+"""Observability for the serving layer.
+
+A :class:`ServingMetrics` instance is shared by the predictor cache, the
+micro-batcher and every session attached to a server. All counters are
+guarded by one lock (updates are tiny relative to inference), and
+:meth:`snapshot` returns plain Python containers so tests, examples and
+monitoring endpoints can read the whole surface atomically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+
+class LatencyWindow:
+    """Bounded sliding window of request latencies with percentile queries.
+
+    Keeps the most recent ``capacity`` observations; percentiles are exact
+    over the window (nearest-rank), which is plenty for a test/metrics
+    surface and avoids any sketch dependencies.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: list[float] = []
+        self._next = 0
+
+    def record(self, seconds: float) -> None:
+        if len(self._ring) < self.capacity:
+            self._ring.append(seconds)
+        else:
+            self._ring[self._next] = seconds
+            self._next = (self._next + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile (``p`` in [0, 100]); None when empty."""
+        if not self._ring:
+            return None
+        ordered = sorted(self._ring)
+        rank = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+
+class ServingMetrics:
+    """Thread-safe counters + histograms for one server (or session).
+
+    Fields exposed by :meth:`snapshot`:
+
+    ``compiles``            full pipeline compilations actually performed
+    ``cache_hits``          predictor-cache hits (incl. waits that shared an
+                            in-flight compile)
+    ``cache_misses``        predictor-cache misses (a compile was triggered)
+    ``cache_evictions``     predictors dropped by the LRU bound
+    ``fallbacks``           requests/compiles that degraded to the
+                            interpreter or reference path
+    ``requests``            predict calls observed
+    ``rows``                total rows predicted
+    ``errors``              requests that raised
+    ``batches``             micro-batches executed
+    ``batch_rows_hist``     {rows per executed batch: count}
+    ``batch_requests_hist`` {requests coalesced per batch: count}
+    ``latency``             {count, p50, p90, p99, max} in seconds
+    """
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self.compiles = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self.fallbacks = 0
+        self.requests = 0
+        self.rows = 0
+        self.errors = 0
+        self.batches = 0
+        self.batch_rows_hist: Counter[int] = Counter()
+        self.batch_requests_hist: Counter[int] = Counter()
+        self._latency = LatencyWindow(latency_window)
+        self._max_latency = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_compile(self) -> None:
+        with self._lock:
+            self.compiles += 1
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_eviction(self, count: int = 1) -> None:
+        with self._lock:
+            self.cache_evictions += count
+
+    def record_fallback(self) -> None:
+        with self._lock:
+            self.fallbacks += 1
+
+    def record_request(self, num_rows: int, seconds: float) -> None:
+        with self._lock:
+            self.requests += 1
+            self.rows += int(num_rows)
+            self._latency.record(seconds)
+            if seconds > self._max_latency:
+                self._max_latency = seconds
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_batch(self, num_rows: int, num_requests: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_rows_hist[int(num_rows)] += 1
+            self.batch_requests_hist[int(num_requests)] += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def latency_percentiles(self) -> dict[str, float | None]:
+        with self._lock:
+            return {
+                "count": len(self._latency),
+                "p50": self._latency.percentile(50),
+                "p90": self._latency.percentile(90),
+                "p99": self._latency.percentile(99),
+                "max": self._max_latency if len(self._latency) else None,
+            }
+
+    def snapshot(self) -> dict:
+        """Atomic copy of every counter and histogram."""
+        with self._lock:
+            return {
+                "compiles": self.compiles,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_evictions": self.cache_evictions,
+                "fallbacks": self.fallbacks,
+                "requests": self.requests,
+                "rows": self.rows,
+                "errors": self.errors,
+                "batches": self.batches,
+                "batch_rows_hist": dict(self.batch_rows_hist),
+                "batch_requests_hist": dict(self.batch_requests_hist),
+                "latency": {
+                    "count": len(self._latency),
+                    "p50": self._latency.percentile(50),
+                    "p90": self._latency.percentile(90),
+                    "p99": self._latency.percentile(99),
+                    "max": self._max_latency if len(self._latency) else None,
+                },
+            }
+
+    def __repr__(self) -> str:
+        s = self.snapshot()
+        return (
+            f"ServingMetrics(requests={s['requests']}, rows={s['rows']}, "
+            f"compiles={s['compiles']}, hits={s['cache_hits']}, "
+            f"misses={s['cache_misses']}, fallbacks={s['fallbacks']})"
+        )

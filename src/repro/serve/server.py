@@ -1,0 +1,163 @@
+"""Multi-model serving front end.
+
+A :class:`ModelServer` owns one shared :class:`~repro.serve.cache.PredictorCache`
+and one :class:`~repro.serve.metrics.ServingMetrics` across every registered
+model, so isomorphic models registered under different names share their
+compiled predictor and the whole deployment is observable from one snapshot.
+Sessions are addressed by name; ``predict(name, rows)`` is the request path
+many concurrent clients hammer.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import Schedule
+from repro.errors import ServingError
+from repro.forest.ensemble import Forest
+from repro.serve.batching import BatchingPolicy
+from repro.serve.cache import DEFAULT_PREDICTOR_CACHE_CAP, PredictorCache
+from repro.serve.metrics import ServingMetrics
+from repro.serve.session import InferenceSession
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Deployment-wide policy for a :class:`ModelServer`.
+
+    Attributes
+    ----------
+    cache_capacity:
+        Bound on resident compiled predictors across all registrations.
+    batching:
+        Default micro-batching policy applied to every session
+        (``None`` disables coalescing).
+    threads:
+        Default per-batch fan-out through row blocking.
+    allow_fallback:
+        Degrade to the interpreter on compile failure instead of raising.
+    validate_inputs:
+        Reject NaN rows at predict time.
+    """
+
+    cache_capacity: int = DEFAULT_PREDICTOR_CACHE_CAP
+    batching: BatchingPolicy | None = None
+    threads: int | None = None
+    allow_fallback: bool = True
+    validate_inputs: bool = True
+
+
+class ModelServer:
+    """Registry of named :class:`InferenceSession`\\ s over one shared cache."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.metrics = ServingMetrics()
+        self.cache = PredictorCache(
+            capacity=self.config.cache_capacity, metrics=self.metrics
+        )
+        self._sessions: dict[str, InferenceSession] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        forest: Forest,
+        schedule: Schedule | None = None,
+        *,
+        batching: BatchingPolicy | None | str = "inherit",
+        threads: int | None | str = "inherit",
+    ) -> InferenceSession:
+        """Compile (or cache-hit) ``forest`` and serve it as ``name``.
+
+        Re-registering an existing name replaces its session; registering a
+        fingerprint-identical model (under any name) reuses the cached
+        predictor without recompiling.
+        """
+        if self._closed:
+            raise ServingError("server is closed")
+        session = InferenceSession(
+            forest,
+            schedule,
+            cache=self.cache,
+            metrics=self.metrics,
+            batching=self.config.batching if batching == "inherit" else batching,
+            threads=self.config.threads if threads == "inherit" else threads,
+            allow_fallback=self.config.allow_fallback,
+            validate_inputs=self.config.validate_inputs,
+        )
+        with self._lock:
+            old = self._sessions.get(name)
+            self._sessions[name] = session
+        if old is not None:
+            old.close()
+        return session
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            session = self._sessions.pop(name, None)
+        if session is None:
+            raise ServingError(f"no model registered as {name!r}")
+        session.close()
+
+    def session(self, name: str) -> InferenceSession:
+        with self._lock:
+            session = self._sessions.get(name)
+        if session is None:
+            raise ServingError(f"no model registered as {name!r}")
+        return session
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._sessions
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def predict(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Objective-transformed predictions from the named model."""
+        return self.session(name).predict(rows)
+
+    def raw_predict(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Raw margins from the named model."""
+        return self.session(name).raw_predict(rows)
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """All counters plus registry/cache occupancy, read atomically."""
+        snap = self.metrics.snapshot()
+        snap["models_registered"] = len(self.names())
+        snap["predictors_resident"] = len(self.cache)
+        return snap
+
+    def close(self) -> None:
+        with self._lock:
+            sessions, self._sessions = list(self._sessions.values()), {}
+            self._closed = True
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelServer(models={len(self.names())}, "
+            f"cache={len(self.cache)}/{self.cache.capacity})"
+        )

@@ -1,0 +1,180 @@
+"""One served model: compile-once, predict-many, degrade-gracefully.
+
+An :class:`InferenceSession` is the serving wrapper around one registered
+forest. It compiles through a shared :class:`~repro.serve.cache.PredictorCache`
+(so fingerprint-identical registrations are cache hits), optionally coalesces
+concurrent ``predict`` calls through a :class:`~repro.serve.batching.MicroBatcher`,
+and — when compilation fails with a :class:`~repro.errors.CompilerError` —
+falls back to the interpreter (or, if even lowering failed, the reference
+``Forest`` traversal) instead of crashing, recording the event in metrics.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.api import compile_model
+from repro.backend.jit import model_fingerprint
+from repro.config import Schedule
+from repro.errors import CompilerError, ServingError
+from repro.forest.ensemble import Forest, sigmoid, softmax
+from repro.serve.batching import BatchingPolicy, MicroBatcher
+from repro.serve.cache import PredictorCache
+from repro.serve.fallback import InterpreterPredictor, ReferencePredictor
+from repro.serve.metrics import ServingMetrics
+
+
+def _lower_only(forest: Forest, schedule: Schedule):
+    """Run the pipeline up to LIR (no codegen); used by the fallback path."""
+    from repro.hir.ir import build_hir
+    from repro.lir.lowering import lower_mir_to_lir
+    from repro.mir.lowering import lower_hir_to_mir
+    from repro.mir.passes import run_mir_pipeline
+
+    hir = build_hir(forest, schedule)
+    return lower_mir_to_lir(run_mir_pipeline(lower_hir_to_mir(hir), hir), hir)
+
+
+class InferenceSession:
+    """Serving handle for one model + schedule.
+
+    Parameters
+    ----------
+    forest, schedule:
+        The model and its compilation schedule (``None`` = paper default).
+    cache:
+        Shared predictor cache; a private one is created when omitted.
+    metrics:
+        Shared metrics sink; a private one is created when omitted.
+    batching:
+        A :class:`BatchingPolicy` to coalesce concurrent ``predict`` calls
+        into micro-batches, or ``None`` (default) for direct execution.
+    threads:
+        Per-batch fan-out through ``parallel_predict`` row blocking;
+        ``None`` defers to the schedule's ``parallel`` field.
+    allow_fallback:
+        Degrade to the interpreter/reference path on compile failure
+        instead of raising.
+    validate_inputs:
+        Reject NaN rows at predict time.
+    """
+
+    def __init__(
+        self,
+        forest: Forest,
+        schedule: Schedule | None = None,
+        *,
+        cache: PredictorCache | None = None,
+        metrics: ServingMetrics | None = None,
+        batching: BatchingPolicy | None = None,
+        threads: int | None = None,
+        allow_fallback: bool = True,
+        validate_inputs: bool = True,
+    ) -> None:
+        self.forest = forest
+        self.schedule = schedule or Schedule()
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        # NB: `cache or ...` would be wrong — an *empty* cache is falsy.
+        self.cache = cache if cache is not None else PredictorCache(metrics=self.metrics)
+        self.threads = threads
+        self.allow_fallback = allow_fallback
+        self.validate_inputs = validate_inputs
+        self.fallback_error: CompilerError | None = None
+        self.fingerprint = model_fingerprint(forest, self.schedule)
+        self.predictor, self.cache_hit = self.cache.get_or_compile(
+            self.fingerprint, self._compile
+        )
+        self._batcher: MicroBatcher | None = None
+        if batching is not None:
+            self._batcher = MicroBatcher(
+                self._run_raw, policy=batching, metrics=self.metrics,
+                name=f"repro-batcher-{self.fingerprint[:8]}",
+            )
+
+    # ------------------------------------------------------------------
+    # Compilation (invoked at most once per fingerprint via the cache)
+    # ------------------------------------------------------------------
+    def _compile(self):
+        self.metrics.record_compile()
+        try:
+            return compile_model(
+                self.forest, self.schedule, validate_inputs=self.validate_inputs
+            )
+        except CompilerError as exc:
+            if not self.allow_fallback:
+                raise
+            self.fallback_error = exc
+            self.metrics.record_fallback()
+            try:
+                lir = _lower_only(self.forest, self.schedule)
+                return InterpreterPredictor(self.forest, lir, self.validate_inputs)
+            except CompilerError:
+                # Even lowering failed: serve the reference semantics.
+                return ReferencePredictor(self.forest, self.schedule, self.validate_inputs)
+
+    @property
+    def used_fallback(self) -> bool:
+        """Whether this session serves through a degraded executor."""
+        return getattr(self.predictor, "is_fallback", False)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _run_raw(self, rows: np.ndarray) -> np.ndarray:
+        """Execute one (possibly coalesced) batch of raw margins."""
+        return self.predictor.raw_predict(rows, threads=self.threads)
+
+    def raw_predict(self, rows: np.ndarray) -> np.ndarray:
+        """Raw margins, through the micro-batcher when one is configured."""
+        start = time.perf_counter()
+        rows = np.asarray(rows)
+        try:
+            if self._batcher is not None:
+                out = self._batcher.predict(rows)
+            else:
+                out = self._run_raw(rows)
+        except BaseException:
+            self.metrics.record_error()
+            raise
+        self.metrics.record_request(rows.shape[0] if rows.ndim == 2 else 0,
+                                    time.perf_counter() - start)
+        return out
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        """Objective-transformed predictions (probabilities for classifiers)."""
+        raw = self.raw_predict(rows)
+        if self.forest.objective == "binary:logistic":
+            return sigmoid(raw)
+        if self.forest.objective == "multiclass":
+            return softmax(raw)
+        return raw
+
+    def submit(self, rows: np.ndarray):
+        """Async raw-margin request; requires a batching policy."""
+        if self._batcher is None:
+            raise ServingError("session was created without a batching policy")
+        return self._batcher.submit(rows)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._batcher is not None:
+            self._batcher.close()
+            self._batcher = None
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        kind = type(self.predictor).__name__
+        return (
+            f"InferenceSession(fingerprint={self.fingerprint[:12]}, "
+            f"executor={kind}, cache_hit={self.cache_hit}, "
+            f"fallback={self.used_fallback})"
+        )

@@ -6,7 +6,14 @@ import pytest
 from repro.api import compile_model, predict
 from repro.backend.codegen import build_namespace, emit_module_source
 from repro.backend.interpreter import interpret_lir
-from repro.backend.jit import cache_size, compile_lir, compile_source
+from repro.backend.jit import (
+    cache_limit,
+    cache_size,
+    compile_lir,
+    compile_source,
+    model_fingerprint,
+    set_cache_limit,
+)
 from repro.backend.parallel import MulticoreSimulator, parallel_predict, row_blocks
 from repro.config import Schedule
 from repro.errors import CodegenError, ExecutionError
@@ -85,6 +92,43 @@ class TestJIT:
     def test_missing_function_rejected(self):
         with pytest.raises(CodegenError):
             compile_source("x = 1\n", {})
+
+    def test_cache_is_bounded_lru(self):
+        previous = set_cache_limit(4)
+        try:
+            assert cache_limit() == 4
+            for i in range(10):
+                compile_source(
+                    f"def predict_block(rows, out):\n    return out  # v{i}\n", {}
+                )
+                assert cache_size() <= 4
+            assert cache_size() == 4
+        finally:
+            set_cache_limit(previous)
+
+    def test_cache_limit_trims_immediately(self):
+        previous = set_cache_limit(8)
+        try:
+            for i in range(8):
+                compile_source(
+                    f"def predict_block(rows, out):\n    return out  # trim{i}\n", {}
+                )
+            set_cache_limit(2)
+            assert cache_size() <= 2
+        finally:
+            set_cache_limit(previous)
+
+    def test_cache_limit_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            set_cache_limit(0)
+
+    def test_model_fingerprint_stable_and_schedule_sensitive(self, trained_forest):
+        a = model_fingerprint(trained_forest, Schedule())
+        b = model_fingerprint(trained_forest, Schedule())
+        c = model_fingerprint(trained_forest, Schedule(tile_size=2))
+        assert a == b
+        assert a != c
+        assert a != model_fingerprint(trained_forest)
 
 
 class TestInterpreter:
@@ -210,3 +254,27 @@ class TestParallelRuntime:
 
         sim.run(kernel, np.zeros((64, 1)), np.zeros((64, 1)), cores=16)
         assert len(calls) == 4  # 16 * 0.25
+
+    def test_row_blocks_zero_rows(self):
+        assert row_blocks(0, 4) == []
+        assert row_blocks(0, 1) == []
+
+    def test_parallel_predict_zero_rows_skips_kernel(self):
+        calls = []
+
+        def kernel(rows, out):
+            calls.append(rows.shape[0])
+
+        out = np.zeros((0, 1))
+        result = parallel_predict(kernel, np.zeros((0, 2)), out, num_threads=4)
+        assert result is out
+        assert calls == []
+
+    def test_simulator_zero_rows(self):
+        def kernel(rows, out):
+            raise AssertionError("kernel must not run on empty input")
+
+        sim = MulticoreSimulator()
+        out, seconds = sim.run(kernel, np.zeros((0, 2)), np.zeros((0, 1)), cores=4)
+        assert out.shape == (0, 1)
+        assert seconds == 0.0

@@ -1,0 +1,412 @@
+"""Tests for the serving layer: cache, micro-batching, fallback, metrics."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from conftest import random_forest_model
+from repro.api import serve_model
+from repro.config import Schedule
+from repro.errors import CodegenError, ExecutionError, ServingError
+from repro.forest.ensemble import Forest
+from repro.serve import (
+    BatchingPolicy,
+    InferenceSession,
+    MicroBatcher,
+    ModelServer,
+    PredictorCache,
+    ServerConfig,
+    ServingMetrics,
+)
+
+
+@pytest.fixture(scope="module")
+def small_forest():
+    return random_forest_model(
+        np.random.default_rng(42), num_trees=5, max_depth=4, num_features=6
+    )
+
+
+@pytest.fixture(scope="module")
+def small_rows():
+    return np.random.default_rng(43).normal(size=(48, 6))
+
+
+def distinct_forest(seed: int) -> Forest:
+    return random_forest_model(
+        np.random.default_rng(seed), num_trees=3, max_depth=3, num_features=6
+    )
+
+
+# ----------------------------------------------------------------------
+# Predictor cache
+# ----------------------------------------------------------------------
+class TestPredictorCache:
+    def test_second_registration_is_cache_hit(self, small_forest, small_rows):
+        """Acceptance: a fingerprint-identical model must not recompile."""
+        metrics = ServingMetrics()
+        cache = PredictorCache(metrics=metrics)
+        first = InferenceSession(small_forest, cache=cache, metrics=metrics)
+        assert not first.cache_hit
+        # A structurally identical model (serialize/deserialize round trip).
+        clone = Forest.from_dict(small_forest.to_dict())
+        second = InferenceSession(clone, cache=cache, metrics=metrics)
+        assert second.cache_hit
+        assert second.predictor is first.predictor
+        snap = metrics.snapshot()
+        assert snap["compiles"] == 1
+        assert snap["cache_hits"] == 1
+        assert snap["cache_misses"] == 1
+        got = second.raw_predict(small_rows)
+        assert np.allclose(got, small_forest.raw_predict(small_rows), rtol=1e-12)
+
+    def test_different_schedule_is_cache_miss(self, small_forest):
+        metrics = ServingMetrics()
+        cache = PredictorCache(metrics=metrics)
+        InferenceSession(small_forest, Schedule(tile_size=4), cache=cache, metrics=metrics)
+        InferenceSession(small_forest, Schedule(tile_size=2), cache=cache, metrics=metrics)
+        assert metrics.snapshot()["compiles"] == 2
+
+    def test_lru_eviction_bounds_cache(self):
+        metrics = ServingMetrics()
+        cache = PredictorCache(capacity=2, metrics=metrics)
+        for seed in range(5):
+            InferenceSession(distinct_forest(seed), cache=cache, metrics=metrics)
+        assert len(cache) <= 2
+        assert metrics.snapshot()["cache_evictions"] == 3
+
+    def test_lru_keeps_recently_used(self):
+        cache = PredictorCache(capacity=2)
+        a, _ = cache.get_or_compile("a", lambda: "A")
+        cache.get_or_compile("b", lambda: "B")
+        cache.get_or_compile("a", lambda: "A2")  # refresh a
+        cache.get_or_compile("c", lambda: "C")  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_compile_error_not_cached(self):
+        cache = PredictorCache()
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise CodegenError("boom")
+
+        with pytest.raises(CodegenError):
+            cache.get_or_compile("k", failing)
+        # The failure must not poison the key: the next attempt retries.
+        value, hit = cache.get_or_compile("k", lambda: "ok")
+        assert value == "ok" and not hit and len(calls) == 1
+
+    def test_invalidate_and_clear(self):
+        cache = PredictorCache()
+        cache.get_or_compile("k", lambda: "v")
+        assert cache.invalidate("k")
+        assert not cache.invalidate("k")
+        cache.get_or_compile("k", lambda: "v")
+        cache.clear()
+        assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Micro-batching
+# ----------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_concurrent_requests_coalesce(self, small_forest, small_rows):
+        """Acceptance: queued requests execute as one coalesced batch."""
+        session = InferenceSession(
+            small_forest,
+            batching=BatchingPolicy(max_delay_s=0.05, max_batch_rows=100_000),
+        )
+        inner = session._batcher.run_batch
+        first_entered = threading.Event()
+        release = threading.Event()
+        batch_sizes = []
+
+        def gated(rows):
+            # Block the worker inside batch #1 so later submissions pile up
+            # in the queue and must coalesce into batch #2.
+            if not first_entered.is_set():
+                first_entered.set()
+                assert release.wait(5.0)
+            batch_sizes.append(rows.shape[0])
+            return inner(rows)
+
+        session._batcher.run_batch = gated
+        chunks = [small_rows[i * 8 : (i + 1) * 8] for i in range(6)]
+        futures = [session.submit(chunks[0])]
+        assert first_entered.wait(5.0)
+        futures += [session.submit(chunk) for chunk in chunks[1:]]
+        release.set()
+        results = [f.result(timeout=5.0) for f in futures]
+        session.close()
+        for chunk, got in zip(chunks, results):
+            assert np.allclose(got, small_forest.raw_predict(chunk), rtol=1e-12)
+        assert batch_sizes[0] == 8
+        assert batch_sizes[1] == 40  # five 8-row requests in one kernel batch
+        hist = session.metrics.snapshot()["batch_requests_hist"]
+        assert hist.get(5) == 1
+
+    def test_max_batch_rows_respected(self):
+        executed = []
+
+        def run(rows):
+            executed.append(rows.shape[0])
+            return rows.sum(axis=1)
+
+        with MicroBatcher(run, BatchingPolicy(max_batch_rows=4, max_delay_s=0.2)) as b:
+            gate = threading.Event()
+            b.run_batch = lambda rows: (gate.wait(5.0), run(rows))[1]
+            futures = [b.submit(np.ones((2, 3))) for _ in range(4)]
+            gate.set()
+            for f in futures:
+                f.result(timeout=5.0)
+        # First batch absorbed the first request; subsequent batches stop
+        # coalescing at >= 4 rows.
+        assert all(n <= 4 for n in executed)
+        assert sum(executed) == 8
+
+    def test_error_propagates_to_all_requests(self):
+        def run(rows):
+            raise ExecutionError("kernel exploded")
+
+        with MicroBatcher(run, BatchingPolicy(max_delay_s=0.01)) as b:
+            futures = [b.submit(np.ones((1, 2))) for _ in range(3)]
+            for f in futures:
+                with pytest.raises(ExecutionError, match="exploded"):
+                    f.result(timeout=5.0)
+
+    def test_queue_backpressure(self):
+        release = threading.Event()
+
+        def run(rows):
+            release.wait(5.0)
+            return rows.sum(axis=1)
+
+        b = MicroBatcher(
+            run,
+            BatchingPolicy(queue_depth=1, max_delay_s=0.0, submit_timeout_s=0.05),
+        )
+        try:
+            b.submit(np.ones((1, 2)))  # worker picks this up and blocks
+            time.sleep(0.05)
+            b.submit(np.ones((1, 2)))  # sits in the queue (depth 1)
+            with pytest.raises(ServingError, match="full"):
+                b.submit(np.ones((1, 2)))
+        finally:
+            release.set()
+            b.close()
+
+    def test_closed_batcher_rejects(self):
+        b = MicroBatcher(lambda rows: rows.sum(axis=1))
+        b.close()
+        with pytest.raises(ServingError, match="closed"):
+            b.submit(np.ones((1, 2)))
+
+    def test_zero_row_submit(self):
+        with MicroBatcher(lambda rows: rows.sum(axis=1)) as b:
+            out = b.submit(np.zeros((0, 3))).result(timeout=5.0)
+            assert out.shape == (0,)
+
+
+# ----------------------------------------------------------------------
+# Fallback
+# ----------------------------------------------------------------------
+class TestFallback:
+    def test_codegen_failure_falls_back_to_interpreter(
+        self, small_forest, small_rows, monkeypatch
+    ):
+        """Acceptance: injected CodegenError -> interpreter serves correct
+        predictions and the fallback metric increments."""
+        import repro.serve.session as session_mod
+
+        def exploding_compile(*args, **kwargs):
+            raise CodegenError("injected codegen failure")
+
+        monkeypatch.setattr(session_mod, "compile_model", exploding_compile)
+        session = InferenceSession(small_forest)
+        assert session.used_fallback
+        assert type(session.predictor).__name__ == "InterpreterPredictor"
+        assert "injected" in str(session.fallback_error)
+        got = session.raw_predict(small_rows)
+        assert np.allclose(got, small_forest.raw_predict(small_rows), rtol=1e-12)
+        assert session.metrics.snapshot()["fallbacks"] == 1
+
+    def test_lowering_failure_falls_back_to_reference(
+        self, small_forest, small_rows, monkeypatch
+    ):
+        import repro.serve.session as session_mod
+
+        def exploding(*args, **kwargs):
+            raise CodegenError("injected")
+
+        monkeypatch.setattr(session_mod, "compile_model", exploding)
+        monkeypatch.setattr(session_mod, "_lower_only", exploding)
+        session = InferenceSession(small_forest)
+        assert type(session.predictor).__name__ == "ReferencePredictor"
+        got = session.raw_predict(small_rows)
+        assert np.allclose(got, small_forest.raw_predict(small_rows), rtol=1e-12)
+
+    def test_fallback_can_be_disabled(self, small_forest, monkeypatch):
+        import repro.serve.session as session_mod
+
+        def exploding(*args, **kwargs):
+            raise CodegenError("injected")
+
+        monkeypatch.setattr(session_mod, "compile_model", exploding)
+        with pytest.raises(CodegenError):
+            InferenceSession(small_forest, allow_fallback=False)
+
+    def test_fallback_respects_nan_validation(self, small_forest, monkeypatch):
+        import repro.serve.session as session_mod
+
+        monkeypatch.setattr(
+            session_mod,
+            "compile_model",
+            lambda *a, **k: (_ for _ in ()).throw(CodegenError("injected")),
+        )
+        session = InferenceSession(small_forest)
+        bad = np.zeros((2, small_forest.num_features))
+        bad[0, 0] = np.nan
+        with pytest.raises(ExecutionError, match="NaN"):
+            session.raw_predict(bad)
+
+    def test_fallback_through_batcher(self, small_forest, small_rows, monkeypatch):
+        import repro.serve.session as session_mod
+
+        monkeypatch.setattr(
+            session_mod,
+            "compile_model",
+            lambda *a, **k: (_ for _ in ()).throw(CodegenError("injected")),
+        )
+        with InferenceSession(small_forest, batching=BatchingPolicy()) as session:
+            got = session.raw_predict(small_rows[:8])
+            assert np.allclose(got, small_forest.raw_predict(small_rows[:8]), rtol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Sessions and server
+# ----------------------------------------------------------------------
+class TestInferenceSession:
+    def test_predict_applies_objective(self, binary_forest, test_rows):
+        session = InferenceSession(binary_forest)
+        probs = session.predict(test_rows)
+        assert np.allclose(probs, binary_forest.predict(test_rows), rtol=1e-12)
+
+    def test_zero_rows(self, small_forest):
+        session = InferenceSession(small_forest)
+        out = session.raw_predict(np.zeros((0, small_forest.num_features)))
+        assert out.shape == (0,)
+
+    def test_threads_override_matches_serial(self, small_forest, small_rows):
+        serial = InferenceSession(small_forest).raw_predict(small_rows)
+        threaded = InferenceSession(small_forest, threads=4).raw_predict(small_rows)
+        assert np.array_equal(serial, threaded)
+
+    def test_request_metrics_recorded(self, small_forest, small_rows):
+        session = InferenceSession(small_forest)
+        session.raw_predict(small_rows)
+        session.raw_predict(small_rows[:7])
+        snap = session.metrics.snapshot()
+        assert snap["requests"] == 2
+        assert snap["rows"] == small_rows.shape[0] + 7
+        assert snap["latency"]["count"] == 2
+        assert snap["latency"]["p50"] is not None
+        assert snap["latency"]["p99"] >= snap["latency"]["p50"]
+
+    def test_error_metric_recorded(self, small_forest):
+        session = InferenceSession(small_forest)
+        with pytest.raises(ExecutionError):
+            session.raw_predict(np.zeros((3, 99)))
+        assert session.metrics.snapshot()["errors"] == 1
+
+    def test_submit_requires_batching(self, small_forest):
+        session = InferenceSession(small_forest)
+        with pytest.raises(ServingError, match="batching"):
+            session.submit(np.zeros((1, small_forest.num_features)))
+
+    def test_serve_model_convenience(self, small_forest, small_rows):
+        session = serve_model(small_forest, Schedule(tile_size=4))
+        got = session.raw_predict(small_rows)
+        assert np.allclose(got, small_forest.raw_predict(small_rows), rtol=1e-12)
+
+
+class TestModelServer:
+    def test_register_predict_unregister(self, small_forest, small_rows):
+        with ModelServer() as server:
+            server.register("m", small_forest)
+            assert "m" in server
+            got = server.raw_predict("m", small_rows)
+            assert np.allclose(got, small_forest.raw_predict(small_rows), rtol=1e-12)
+            server.unregister("m")
+            assert "m" not in server
+            with pytest.raises(ServingError, match="no model"):
+                server.predict("m", small_rows)
+
+    def test_isomorphic_models_share_predictor(self, small_forest):
+        with ModelServer() as server:
+            s1 = server.register("a", small_forest)
+            s2 = server.register("b", Forest.from_dict(small_forest.to_dict()))
+            assert s2.cache_hit and s1.predictor is s2.predictor
+            snap = server.metrics_snapshot()
+            assert snap["compiles"] == 1
+            assert snap["models_registered"] == 2
+            assert snap["predictors_resident"] == 1
+
+    def test_reregister_name_replaces_session(self, small_forest):
+        with ModelServer() as server:
+            server.register("m", small_forest, Schedule(tile_size=2))
+            replaced = server.register("m", small_forest, Schedule(tile_size=4))
+            assert server.session("m") is replaced
+
+    def test_cache_capacity_respected(self):
+        with ModelServer(ServerConfig(cache_capacity=2)) as server:
+            for seed in range(4):
+                server.register(f"m{seed}", distinct_forest(seed))
+            assert server.metrics_snapshot()["predictors_resident"] <= 2
+
+    def test_server_batching_config(self, small_forest, small_rows):
+        config = ServerConfig(batching=BatchingPolicy(max_delay_s=0.001))
+        with ModelServer(config) as server:
+            server.register("m", small_forest)
+            got = server.raw_predict("m", small_rows)
+            assert np.allclose(got, small_forest.raw_predict(small_rows), rtol=1e-12)
+            assert server.metrics_snapshot()["batches"] >= 1
+
+    def test_closed_server_rejects_registration(self, small_forest):
+        server = ModelServer()
+        server.close()
+        with pytest.raises(ServingError, match="closed"):
+            server.register("m", small_forest)
+
+    def test_multiclass_served(self, multiclass_forest, test_rows):
+        with ModelServer() as server:
+            server.register("mc", multiclass_forest)
+            got = server.predict("mc", test_rows)
+            assert np.allclose(got, multiclass_forest.predict(test_rows), rtol=1e-12)
+
+
+class TestMetricsPrimitives:
+    def test_latency_window_bounded(self):
+        from repro.serve.metrics import LatencyWindow
+
+        w = LatencyWindow(capacity=8)
+        for i in range(100):
+            w.record(float(i))
+        assert len(w) == 8
+        assert w.percentile(0) >= 92.0  # only the most recent survive
+
+    def test_percentiles_ordering(self):
+        from repro.serve.metrics import LatencyWindow
+
+        w = LatencyWindow()
+        for i in range(1, 101):
+            w.record(i / 100.0)
+        assert w.percentile(50) <= w.percentile(90) <= w.percentile(99)
+        assert w.percentile(100) == 1.0
+
+    def test_empty_snapshot(self):
+        snap = ServingMetrics().snapshot()
+        assert snap["latency"]["p50"] is None
+        assert snap["requests"] == 0
