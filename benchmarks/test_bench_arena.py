@@ -1,0 +1,136 @@
+"""PR2 bench: scratch-arena kernels vs the alloc-per-step emitter.
+
+Measures single-thread throughput of one mid-size synthetic forest under
+three schedules — the legacy allocate-every-temporary emitter at float64
+("before"), the arena emitter at float64 (attribution of the arena alone),
+and the arena emitter at float32 ("after": arena + narrow model buffers) —
+and emits ``BENCH_PR2.json`` at the repo root with rows/sec for each.
+
+The acceptance gate for the PR is after/before >= 1.3x.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import compile_cached, run_benchmark
+from repro.config import Schedule
+from repro.forest.builder import TreeBuilder
+from repro.forest.ensemble import Forest
+
+NUM_TREES = 80
+MAX_DEPTH = 7
+NUM_FEATURES = 32
+BATCH = 2048
+REPEATS = 7
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+
+BASE = dict(
+    tile_size=8, tiling="basic", layout="sparse",
+    pad_and_unroll=True, interleave=16,
+)
+
+
+def _synthetic_forest(rng: np.random.Generator) -> Forest:
+    """A mid-size random forest: near-full trees, mixed leaf depths."""
+
+    def grow(builder, parent, side, depth):
+        if depth >= MAX_DEPTH or (depth > 2 and rng.uniform() < 0.15):
+            builder.leaf(float(rng.normal()), parent=parent, side=side)
+            return
+        node = builder.internal(
+            int(rng.integers(NUM_FEATURES)), float(rng.normal()),
+            parent=parent, side=side,
+        )
+        grow(builder, node, "left", depth + 1)
+        grow(builder, node, "right", depth + 1)
+
+    trees = []
+    for i in range(NUM_TREES):
+        builder = TreeBuilder()
+        root = builder.internal(int(rng.integers(NUM_FEATURES)), float(rng.normal()))
+        grow(builder, root, "left", 1)
+        grow(builder, root, "right", 1)
+        trees.append(builder.build(tree_id=i))
+    return Forest(trees, num_features=NUM_FEATURES, objective="regression")
+
+
+def _rows_per_sec(predictor, rows: np.ndarray) -> float:
+    """Best-of-N single-thread throughput (min time beats timer noise)."""
+    rows = np.ascontiguousarray(rows, dtype=predictor.input_dtype)
+    predictor.raw_predict(rows)  # warm the JIT path and the arena
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        predictor.raw_predict(rows)
+        best = min(best, time.perf_counter() - start)
+    return rows.shape[0] / best
+
+
+def test_arena_speedup(benchmark):
+    rng = np.random.default_rng(2024)
+    forest = _synthetic_forest(rng)
+    rows = rng.normal(size=(BATCH, NUM_FEATURES))
+
+    before = compile_cached(forest, Schedule(**BASE, scratch="alloc"))
+    arena64 = compile_cached(forest, Schedule(**BASE, scratch="arena"))
+    after = compile_cached(
+        forest, Schedule(**BASE, scratch="arena", precision="float32")
+    )
+
+    # Correctness sanity at bench scale before timing anything.
+    want = forest.raw_predict(rows)
+    np.testing.assert_allclose(before.raw_predict(rows), want, rtol=1e-10)
+    np.testing.assert_allclose(
+        after.raw_predict(np.ascontiguousarray(rows, dtype=np.float32)),
+        want, rtol=1e-4, atol=1e-5,
+    )
+
+    before_rps = _rows_per_sec(before, rows)
+    arena64_rps = _rows_per_sec(arena64, rows)
+    after_rps = _rows_per_sec(after, rows)
+
+    rows32 = np.ascontiguousarray(rows, dtype=np.float32)
+    run_benchmark(benchmark, lambda: after.raw_predict(rows32))
+
+    result = {
+        "benchmark": "zero-allocation kernels (PR2)",
+        "forest": {
+            "trees": forest.num_trees,
+            "features": NUM_FEATURES,
+            "max_depth": MAX_DEPTH,
+        },
+        "batch": BATCH,
+        "schedule": BASE,
+        "before_rows_per_sec": round(before_rps, 1),
+        "arena_float64_rows_per_sec": round(arena64_rps, 1),
+        "after_rows_per_sec": round(after_rps, 1),
+        "speedup_arena": round(arena64_rps / before_rps, 3),
+        "speedup_total": round(after_rps / before_rps, 3),
+        "scratch_nbytes": after.scratch_nbytes(),
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"\nPR2 bench: alloc/f64 {before_rps:,.0f} rows/s -> "
+        f"arena/f64 {arena64_rps:,.0f} -> arena/f32 {after_rps:,.0f} "
+        f"({result['speedup_total']:.2f}x)"
+    )
+    assert result["speedup_total"] >= 1.3
+
+
+def test_arena_scratch_footprint_bounded(abalone_model):
+    """Scratch stays tiny relative to model buffers and matches its spec."""
+    forest, rows = abalone_model
+    predictor = compile_cached(forest, Schedule(**BASE, scratch="arena"))
+    predictor.raw_predict(rows)
+    scratch = predictor.scratch_nbytes()
+    assert scratch > 0
+    assert scratch == predictor.arena_spec.nbytes_for(rows.shape[0])
+    # Working-set scratch scales with the batch, not the model: a few KB
+    # per row (lane temporaries for one interleave chunk), nothing more.
+    assert scratch / rows.shape[0] < 32 * 1024

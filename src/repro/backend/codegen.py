@@ -1,9 +1,9 @@
 """NumPy source generation for compiled inference functions.
 
 ``emit_module_source`` walks an :class:`~repro.lir.ir.LIRModule` and emits
-the body of ``predict_block(rows, out)``. The emitted statements follow the
-walk-step op sequence of Section V-A one to one, using the fastest NumPy
-realization of each op:
+the body of ``predict_block(rows, out, arena=None)``. The emitted
+statements follow the walk-step op sequence of Section V-A one to one,
+using the fastest NumPy realization of each op:
 
 ========================  ================================================
 LIR op                    emitted statement
@@ -24,6 +24,25 @@ indices is several times faster than multi-axis advanced indexing), and
 tile storage is padded to a power-of-two lane width so the comparison
 vector can be reinterpreted as a single integer per tile.
 
+Two temporary-buffer policies exist, selected by ``Schedule.scratch``:
+
+* ``"arena"`` (default): every step temporary is written into a
+  preallocated per-thread :class:`~repro.lir.memory.ScratchArena` buffer
+  via ``out=`` (``np.take(..., mode='clip', out=...)``,
+  ``np.less(..., out=...)``, …) — the NumPy substitute for the paper's
+  generated SIMD loop keeping its working set in registers and fixed
+  buffers across walk steps. ``mode='clip'`` skips NumPy's bounds-check
+  buffering; indices are in range by construction. The steady-state hot
+  path allocates nothing.
+* ``"alloc"``: the legacy emitter — a fresh temporary per op — kept as the
+  benchmark/ablation reference.
+
+``Schedule.precision`` specializes element widths: under ``"float32"`` the
+threshold/feature/leaf/one-hot buffers (and the input rows) are float32 and
+the feature-index buffer is int32, halving model-buffer memory traffic
+(the paper's element-width discussion). The output accumulator stays
+float64 regardless.
+
 Walk styles lower differently: ``unrolled`` emits straight-line step
 sequences with no termination checks; ``peeled`` emits check-free prologue
 steps followed by the guarded loop; ``loop`` emits the guarded loop only.
@@ -31,7 +50,9 @@ The guarded loop uses *active-lane compaction* — finished (row, tree) walks
 leave the working set, the vectorized analog of the scalar walk's early
 exit, which is what probability-based tiling's shorter expected walks pay
 into. The tree-chunk loop realizes walk interleaving: all ``width`` jammed
-walks advance inside the same vector statements.
+walks advance inside the same vector statements. Compaction inherently
+allocates (``nonzero``, boolean indexing); the arena covers its lane-sized
+gathers, which dominate.
 
 NaN caveat: speculative evaluation relies on padding predicates
 (``x < +inf``) being true, which fails for NaN inputs — the predictor
@@ -44,6 +65,7 @@ import numpy as np
 
 from repro.errors import CodegenError
 from repro.lir.ir import LIRGroup, LIRModule
+from repro.lir.memory import ScratchArena, arena_spec
 
 
 class _Emitter:
@@ -120,9 +142,59 @@ class _GroupEmitter:
         self.width = self.layout.thresholds.shape[2]
         self.lut_cols = lir.lut.shape[1]
         self.has_dummy = lir.dummy_shape_id is not None
+        self.arena = lir.schedule.scratch == "arena"
         # Number of LUT rows describing *real* tile shapes (the reserved
         # dummy row routes data-independently and is handled by masking).
         self.real_shapes = lir.lut.shape[0] - (1 if self.has_dummy else 0)
+
+    # -- arena view management ----------------------------------------
+    @property
+    def _full_n(self) -> str:
+        """Scalar element count of the full (uncompacted) working set."""
+        return "B * k" if self.vec else "k"
+
+    @property
+    def _full_shape(self) -> str:
+        return "B, k" if self.vec else "k"
+
+    def _needs_pack(self) -> bool:
+        single_shape = self.real_shapes == 1
+        return self.width in (2, 4, 8) and not (single_shape and self.width == 1)
+
+    def bind_scratch(self, n_expr: str, shape: str, full: bool) -> None:
+        """Bind shaped arena views for the step temporaries.
+
+        ``shape`` is a dims string like ``"B, k"`` or ``"m"``; lane views
+        append the tile width. ``full`` additionally binds ``idx``/``state``
+        (compaction steps compute their own index vectors and mutate the
+        chunk-level ``state`` view in place).
+        """
+        e, W = self.e, self.width
+        lane = f"_n * {W}" if W > 1 else "_n"
+        e.emit(f"_n = {n_expr}")
+        e.emit(f"thr = _A.f0[:{lane}].reshape({shape}, {W})")
+        e.emit(f"feat = _A.f1[:{lane}].reshape({shape}, {W})")
+        e.emit(f"fidx = _A.i0[:{lane}].reshape({shape}, {W})")
+        if self.vec:
+            e.emit(f"gidx = _A.i1[:{lane}].reshape({shape}, {W})")
+        e.emit(f"cmp = _A.c0[:{lane}].reshape({shape}, {W})")
+        e.emit(f"ci = _A.i3[:_n].reshape({shape})")
+        e.emit(f"sid = _A.i4[:_n].reshape({shape})")
+        e.emit(f"base = _A.i6[:_n].reshape({shape})")
+        if self._needs_pack():
+            e.emit(f"pv = _A.p{self.width * 8}[:_n].reshape({shape})")
+        if full:
+            e.emit(f"idx = _A.i2[:_n].reshape({shape})")
+
+    def bind_vals(self) -> None:
+        """Bind the leaf-value view at full working-set shape (the final
+        loads run after compaction loops may have shadowed the views)."""
+        self.e.emit(
+            f"vals = _A.f1[:{self._full_n}].reshape({self._full_shape})"
+        )
+
+    def _rebind_idx(self) -> None:
+        self.e.emit(f"idx = _A.i2[:{self._full_n}].reshape({self._full_shape})")
 
     # -- shared op fragments ------------------------------------------
     def eval_tile(self, idx: str, feat_index: str) -> None:
@@ -137,6 +209,9 @@ class _GroupEmitter:
         forces their child index to 0 regardless of the speculative
         comparisons (which can be false for ``+inf`` inputs).
         """
+        if self.arena:
+            self._eval_tile_arena(idx, feat_index)
+            return
         e, g = self.e, self.g
         single_shape = self.real_shapes == 1
         e.emit(f"thr = _np.take({g}_th, {idx}, axis=0)")    # loadThresholds
@@ -156,43 +231,145 @@ class _GroupEmitter:
         e.emit(f"sid = _np.take({g}_sid, {idx})")           # loadTileShape
         e.emit(f"ci = _np.take(lut, sid * {self.lut_cols} + bits)")  # lookupChildIndex
 
+    def _eval_tile_arena(self, idx: str, feat_index: str) -> None:
+        """Arena realization of the same op sequence: every temporary lands
+        in a preallocated buffer via ``out=`` and in-range gathers use
+        ``mode='clip'`` to skip NumPy's bounds-check buffering."""
+        e, g, W = self.e, self.g, self.width
+        single_shape = self.real_shapes == 1
+        e.emit(f"_np.take({g}_th, {idx}, axis=0, mode='clip', out=thr)")
+        e.emit(f"_np.take({g}_fi, {idx}, axis=0, mode='clip', out=fidx)")
+        if self.vec:
+            e.emit(f"_np.add({feat_index}, fidx, out=gidx)")
+            e.emit("_np.take(rowsf, gidx, mode='clip', out=feat)")
+        else:
+            e.emit("_np.take(row, fidx, mode='clip', out=feat)")
+        e.emit("_np.less(feat, thr, out=cmp)")
+        if single_shape and W == 1:
+            e.emit("_np.subtract(1, cmp[..., 0], out=ci)")
+            self._mask_dummies_arena(idx)
+            return
+        self._emit_pack_arena()
+        if single_shape:
+            e.emit("_np.take(lut1, bits, mode='clip', out=ci)")
+            self._mask_dummies_arena(idx)
+            return
+        e.emit(f"_np.take({g}_sid, {idx}, mode='clip', out=sid)")
+        e.emit(f"_np.multiply(sid, {self.lut_cols}, out=sid)")
+        e.emit("_np.add(sid, bits, out=sid)")
+        e.emit("_np.take(lut, sid, mode='clip', out=ci)")
+
+    def _emit_pack_arena(self) -> None:
+        """packBits into the width-matched unsigned scratch (``pv``); wrap
+        semantics of the movemask multiply require computing in the exact
+        unsigned dtype, so ``pv``'s dtype is fixed at arena build time."""
+        e, W = self.e, self.width
+        if W == 1:
+            e.emit("bits = cmp[..., 0]")
+            return
+        if W == 2:
+            e.emit("v2 = cmp.view(_np.uint16)[..., 0]")
+            e.emit("_np.right_shift(v2, _np.uint16(7), out=pv)")
+            e.emit("_np.bitwise_or(pv, v2, out=pv)")
+            e.emit("_np.bitwise_and(pv, _np.uint16(3), out=pv)")
+            e.emit("bits = pv")
+            return
+        if W == 4:
+            e.emit(
+                "_np.multiply(cmp.view(_np.uint32)[..., 0], "
+                "_np.uint32(0x01020408), out=pv)"
+            )
+            e.emit("_np.right_shift(pv, _np.uint32(24), out=pv)")
+            e.emit("_np.bitwise_and(pv, _np.uint32(15), out=pv)")
+            e.emit("bits = pv")
+            return
+        if W == 8:
+            e.emit(
+                "_np.multiply(cmp.view(_np.uint64)[..., 0], "
+                "_np.uint64(0x0102040810204080), out=pv)"
+            )
+            e.emit("_np.right_shift(pv, _np.uint64(56), out=pv)")
+            # Post-shift values fit a byte; reinterpret instead of casting
+            # (uint64 + int64 index math would promote to float64).
+            e.emit("bits = pv.view(_np.int64)")
+            return
+        # Wide tiles (>8): generic matmul fallback, allocating (rare).
+        e.emit(f"bits = {_pack_bits_expr(W)}")
+
     def _mask_dummies(self, idx: str) -> None:
         """Zero the child index at dummy tiles (single-real-shape paths)."""
         if self.has_dummy:
             self.e.emit(f"ci *= _np.take({self.g}_nd, {idx})")
+
+    def _mask_dummies_arena(self, idx: str) -> None:
+        if self.has_dummy:
+            # `sid` is free here: single-real-shape paths never load shapes.
+            self.e.emit(f"_np.take({self.g}_nd, {idx}, mode='clip', out=sid)")
+            self.e.emit("_np.multiply(ci, sid, out=ci)")
 
     def _rowsrc(self) -> str:
         return "rowsf" if self.vec else "row"
 
     def _feat_full(self) -> str:
         """Feature gather index for full (B, k) state."""
+        if self.arena:
+            return "rof" if self.vec else "fidx"
         return "rof + fidx" if self.vec else "fidx"
 
     def _feat_act(self) -> str:
         """Feature gather index for compacted active positions."""
+        if self.arena:
+            return "rof0[act_r][:, None]" if self.vec else "fidx"
         return "rof0[act_r][:, None] + fidx" if self.vec else "fidx"
+
+    def _init_state(self) -> None:
+        e = self.e
+        if self.arena:
+            e.emit(f"state = _A.i5[:_n].reshape({self._full_shape})")
+            e.emit("state[...] = 0")
+        else:
+            shape = "(B, k)" if self.vec else "(k,)"
+            e.emit(f"state = _np.zeros({shape}, dtype=_np.int64)")
 
     # -- sparse layout -------------------------------------------------
     def sparse_walk(self) -> None:
         e, g = self.e, self.g
+        arena = self.arena
         walk = self.group.walk
-        shape = "(B, k)" if self.vec else "(k,)"
-        e.emit(f"state = _np.zeros({shape}, dtype=_np.int64)")
+        if arena:
+            self.bind_scratch(self._full_n, self._full_shape, full=True)
+        self._init_state()
 
         def advance() -> None:
-            e.emit("idx = bofs + state")
-            self.eval_tile("idx", self._feat_full())
-            e.emit(f"state = _np.take({g}_cb, idx) + ci")    # advanceToChild
+            if arena:
+                e.emit("_np.add(bofs, state, out=idx)")
+                self.eval_tile("idx", self._feat_full())
+                e.emit(f"_np.take({g}_cb, idx, mode='clip', out=base)")
+                e.emit("_np.add(base, ci, out=state)")
+            else:
+                e.emit("idx = bofs + state")
+                self.eval_tile("idx", self._feat_full())
+                e.emit(f"state = _np.take({g}_cb, idx) + ci")    # advanceToChild
             e.emit()
 
         if walk.style == "unrolled":
             for _ in range(walk.depth - 1):
                 advance()
             # Final step: uniform depth guarantees the leaves array.
-            e.emit("idx = bofs + state")
-            self.eval_tile("idx", self._feat_full())
-            e.emit(f"base = _np.take({g}_cb, idx)")
-            e.emit(f"vals = _np.take({g}_lv, lofs - base - 1 + ci)")
+            if arena:
+                e.emit("_np.add(bofs, state, out=idx)")
+                self.eval_tile("idx", self._feat_full())
+                e.emit(f"_np.take({g}_cb, idx, mode='clip', out=base)")
+                e.emit("_np.subtract(lofs, base, out=base)")
+                e.emit("_np.subtract(base, 1, out=base)")
+                e.emit("_np.add(base, ci, out=base)")
+                self.bind_vals()
+                e.emit(f"_np.take({g}_lv, base, mode='clip', out=vals)")
+            else:
+                e.emit("idx = bofs + state")
+                self.eval_tile("idx", self._feat_full())
+                e.emit(f"base = _np.take({g}_cb, idx)")
+                e.emit(f"vals = _np.take({g}_lv, lofs - base - 1 + ci)")
             return
 
         if walk.style == "peeled":
@@ -204,21 +381,37 @@ class _GroupEmitter:
             # root harmlessly and keep their state under the mask; the loop
             # runs to the *slowest* lane's depth.
             e.emit("alive = state >= 0")
+            if arena:
+                e.emit(f"t = _A.i7[:_n].reshape({self._full_shape})")
             with e.block("while alive.any():"):
-                e.emit("t = _np.where(alive, state, 0)")
-                e.emit("idx = bofs + t")
-                self.eval_tile("idx", self._feat_full())
-                e.emit(f"base = _np.take({g}_cb, idx)")
-                e.emit("nxt = _np.where(base >= 0, base + ci, base - ci)")
-                e.emit("state = _np.where(alive, nxt, state)")
-                e.emit("alive = state >= 0")
+                if arena:
+                    e.emit("_np.multiply(state, alive, out=t)")
+                    e.emit("_np.add(bofs, t, out=idx)")
+                    self.eval_tile("idx", self._feat_full())
+                    e.emit(f"_np.take({g}_cb, idx, mode='clip', out=base)")
+                    e.emit("nxt = _np.where(base >= 0, base + ci, base - ci)")
+                    e.emit("_np.copyto(state, nxt, where=alive)")
+                    e.emit("_np.greater_equal(state, 0, out=alive)")
+                else:
+                    e.emit("t = _np.where(alive, state, 0)")
+                    e.emit("idx = bofs + t")
+                    self.eval_tile("idx", self._feat_full())
+                    e.emit(f"base = _np.take({g}_cb, idx)")
+                    e.emit("nxt = _np.where(base >= 0, base + ci, base - ci)")
+                    e.emit("state = _np.where(alive, nxt, state)")
+                    e.emit("alive = state >= 0")
         elif self.vec:
             e.emit("act_r, act_l = _np.nonzero(state >= 0)")
             with e.block("while act_r.size:"):
+                if arena:
+                    self.bind_scratch("act_r.size", "_n", full=False)
                 e.emit("t = state[act_r, act_l]")
                 e.emit("idx = bofs0[act_l] + t")
                 self.eval_tile("idx", self._feat_act())
-                e.emit(f"base = _np.take({g}_cb, idx)")
+                if arena:
+                    e.emit(f"_np.take({g}_cb, idx, mode='clip', out=base)")
+                else:
+                    e.emit(f"base = _np.take({g}_cb, idx)")
                 e.emit("nxt = _np.where(base >= 0, base + ci, base - ci)")
                 e.emit("state[act_r, act_l] = nxt")
                 e.emit("keep = nxt >= 0")
@@ -227,33 +420,63 @@ class _GroupEmitter:
         else:
             e.emit("act = _np.nonzero(state >= 0)[0]")
             with e.block("while act.size:"):
+                if arena:
+                    self.bind_scratch("act.size", "_n", full=False)
                 e.emit("t = state[act]")
                 e.emit("idx = bofs[act] + t")
                 self.eval_tile("idx", "fidx")
-                e.emit(f"base = _np.take({g}_cb, idx)")
+                if arena:
+                    e.emit(f"_np.take({g}_cb, idx, mode='clip', out=base)")
+                else:
+                    e.emit(f"base = _np.take({g}_cb, idx)")
                 e.emit("nxt = _np.where(base >= 0, base + ci, base - ci)")
                 e.emit("state[act] = nxt")
                 e.emit("act = act[nxt >= 0]")
-        e.emit(f"vals = _np.take({g}_lv, lofs - state - 1)")
+        if arena:
+            self._rebind_idx()
+            e.emit("_np.subtract(lofs, state, out=idx)")
+            e.emit("_np.subtract(idx, 1, out=idx)")
+            self.bind_vals()
+            e.emit(f"_np.take({g}_lv, idx, mode='clip', out=vals)")
+        else:
+            e.emit(f"vals = _np.take({g}_lv, lofs - state - 1)")
 
     # -- array layout ----------------------------------------------------
     def array_walk(self) -> None:
         e, g = self.e, self.g
+        arena = self.arena
         walk = self.group.walk
         arity = self.layout.tile_size + 1
-        shape = "(B, k)" if self.vec else "(k,)"
-        e.emit(f"state = _np.zeros({shape}, dtype=_np.int64)")
+        if arena:
+            self.bind_scratch(self._full_n, self._full_shape, full=True)
+        self._init_state()
 
         def advance() -> None:
-            e.emit("idx = bofs + state")
-            self.eval_tile("idx", self._feat_full())
-            e.emit(f"state = state * {arity} + ci + 1")
+            if arena:
+                e.emit("_np.add(bofs, state, out=idx)")
+                self.eval_tile("idx", self._feat_full())
+                e.emit(f"_np.multiply(state, {arity}, out=state)")
+                e.emit("_np.add(state, ci, out=state)")
+                e.emit("_np.add(state, 1, out=state)")
+            else:
+                e.emit("idx = bofs + state")
+                self.eval_tile("idx", self._feat_full())
+                e.emit(f"state = state * {arity} + ci + 1")
             e.emit()
+
+        def final_vals() -> None:
+            if arena:
+                self._rebind_idx()
+                e.emit("_np.add(bofs, state, out=idx)")
+                self.bind_vals()
+                e.emit(f"_np.take({g}_lv, idx, mode='clip', out=vals)")
+            else:
+                e.emit(f"vals = _np.take({g}_lv, bofs + state)")
 
         if walk.style == "unrolled":
             for _ in range(walk.depth):
                 advance()
-            e.emit(f"vals = _np.take({g}_lv, bofs + state)")
+            final_vals()
             return
 
         if walk.style == "peeled":
@@ -262,20 +485,39 @@ class _GroupEmitter:
 
         if not self.lir.schedule.compact_walks:
             # Ablation path: masked loop (see the sparse variant).
-            e.emit(f"alive = _np.take({g}_sid, bofs + state) >= 0")
-            with e.block("while alive.any():"):
-                e.emit("t = _np.where(alive, state, 0)")
-                e.emit("idx = bofs + t")
-                self.eval_tile("idx", self._feat_full())
-                e.emit(f"nxt = t * {arity} + ci + 1")
-                e.emit("state = _np.where(alive, nxt, state)")
+            if arena:
+                e.emit("_np.add(bofs, state, out=idx)")
+                e.emit(f"alive = _np.take({g}_sid, idx) >= 0")
+                e.emit(f"t = _A.i7[:_n].reshape({self._full_shape})")
+            else:
                 e.emit(f"alive = _np.take({g}_sid, bofs + state) >= 0")
-            e.emit(f"vals = _np.take({g}_lv, bofs + state)")
+            with e.block("while alive.any():"):
+                if arena:
+                    e.emit("_np.multiply(state, alive, out=t)")
+                    e.emit("_np.add(bofs, t, out=idx)")
+                    self.eval_tile("idx", self._feat_full())
+                    e.emit(f"_np.multiply(t, {arity}, out=base)")
+                    e.emit("_np.add(base, ci, out=base)")
+                    e.emit("_np.add(base, 1, out=base)")
+                    e.emit("_np.copyto(state, base, where=alive)")
+                    e.emit("_np.add(bofs, state, out=idx)")
+                    e.emit(f"_np.take({g}_sid, idx, mode='clip', out=t)")
+                    e.emit("_np.greater_equal(t, 0, out=alive)")
+                else:
+                    e.emit("t = _np.where(alive, state, 0)")
+                    e.emit("idx = bofs + t")
+                    self.eval_tile("idx", self._feat_full())
+                    e.emit(f"nxt = t * {arity} + ci + 1")
+                    e.emit("state = _np.where(alive, nxt, state)")
+                    e.emit(f"alive = _np.take({g}_sid, bofs + state) >= 0")
+            final_vals()
             return
 
         if self.vec:
             e.emit(f"act_r, act_l = _np.nonzero(_np.take({g}_sid, bofs + state) >= 0)")
             with e.block("while act_r.size:"):
+                if arena:
+                    self.bind_scratch("act_r.size", "_n", full=False)
                 e.emit("t = state[act_r, act_l]")
                 e.emit("idx = bofs0[act_l] + t")
                 self.eval_tile("idx", self._feat_act())
@@ -287,19 +529,22 @@ class _GroupEmitter:
         else:
             e.emit(f"act = _np.nonzero(_np.take({g}_sid, bofs + state) >= 0)[0]")
             with e.block("while act.size:"):
+                if arena:
+                    self.bind_scratch("act.size", "_n", full=False)
                 e.emit("t = state[act]")
                 e.emit("idx = bofs[act] + t")
                 self.eval_tile("idx", "fidx")
                 e.emit(f"nxt = t * {arity} + ci + 1")
                 e.emit("state[act] = nxt")
                 e.emit(f"act = act[_np.take({g}_sid, bofs[act] + nxt) >= 0]")
-        e.emit(f"vals = _np.take({g}_lv, bofs + state)")
+        final_vals()
 
 
 def _emit_group(e: _Emitter, lir: LIRModule, group: LIRGroup, vec: bool, target: str) -> None:
     """Emit the tree-chunk loop + walk + accumulation for one group."""
     g = f"g{group.group_id}"
     layout = group.layout
+    arena = lir.schedule.scratch == "arena"
     if group.trivial:
         # Depth-0 group: every member tree is a single leaf; its contribution
         # is a per-class constant folded at compile time.
@@ -323,25 +568,44 @@ def _emit_group(e: _Emitter, lir: LIRModule, group: LIRGroup, vec: bool, target:
             ge.sparse_walk()
         else:
             ge.array_walk()
-        e.emit(f"{target} += vals @ {g}_oh[c0:c0 + k]")
+        if arena:
+            classes = lir.num_classes
+            size = f"B * {classes}" if vec else str(classes)
+            shape = f"(B, {classes})" if vec else f"({classes},)"
+            e.emit(f"mm = _A.fm[:{size}].reshape{shape}")
+            e.emit(f"_np.matmul(vals, {g}_oh[c0:c0 + k], out=mm)")
+            e.emit(f"_np.add({target}, mm, out={target})")
+        else:
+            e.emit(f"{target} += vals @ {g}_oh[c0:c0 + k]")
     e.emit()
 
 
 def emit_module_source(lir: LIRModule) -> str:
-    """Emit the full ``predict_block(rows, out)`` source for ``lir``.
+    """Emit the full ``predict_block(rows, out, arena)`` source for ``lir``.
 
-    ``rows`` is a C-contiguous ``(B, F)`` float64 batch; ``out`` a
-    ``(B, num_classes)`` float64 accumulator pre-filled by the caller with
-    the base score. Model buffers resolve from the JIT namespace.
+    ``rows`` is a C-contiguous ``(B, F)`` batch in the schedule's precision
+    dtype; ``out`` a ``(B, num_classes)`` float64 accumulator pre-filled by
+    the caller with the base score; ``arena`` the caller's per-thread
+    :class:`~repro.lir.memory.ScratchArena` (arena-mode kernels build a
+    transient one when omitted). Model buffers resolve from the JIT
+    namespace.
     """
     e = _Emitter()
     one_row = lir.mir.loop_order == "one-row"
+    arena = lir.schedule.scratch == "arena"
     e.emit('"""Generated by repro.backend.codegen — do not edit."""')
-    with e.block("def predict_block(rows, out):"):
+    with e.block("def predict_block(rows, out, arena=None):"):
         e.emit("B = rows.shape[0]")
+        if arena:
+            with e.block("if arena is None:"):
+                e.emit("arena = _new_arena()")
+            e.emit("_A = arena.ensure(B)")
         if not one_row:
             e.emit("rowsf = rows.reshape(-1)")
-            e.emit(f"rof0 = _np.arange(B, dtype=_np.int64) * {lir.num_features}")
+            if arena:
+                e.emit("rof0 = _A.rof0[:B]")
+            else:
+                e.emit(f"rof0 = _np.arange(B, dtype=_np.int64) * {lir.num_features}")
             e.emit("rof = rof0[:, None, None]")
             e.emit()
             for group in lir.groups:
@@ -362,9 +626,19 @@ def build_namespace(lir: LIRModule) -> dict:
     Layout buffers are flattened with per-lane base offsets precomputed and
     all index-bearing arrays widened to int64 (NumPy's fast path for
     ``take``). The LUT is flattened to one int64 vector indexed by
-    ``shape_id * row_length + bits``.
+    ``shape_id * row_length + bits``. Under ``precision="float32"`` the
+    threshold/leaf/one-hot buffers narrow to float32 and feature indices to
+    int32, halving their footprint and memory traffic; index math that
+    feeds ``np.take`` stays int64 (its fast path). Arena-mode modules also
+    get ``_new_arena``, the fallback scratch factory for direct kernel
+    calls.
     """
+    fdt = np.float32 if lir.schedule.precision == "float32" else np.float64
+    idt = np.int32 if lir.schedule.precision == "float32" else np.int64
     ns: dict = {"_np": np, "lut": np.ascontiguousarray(lir.lut, dtype=np.int64).reshape(-1)}
+    if lir.schedule.scratch == "arena":
+        spec = arena_spec(lir)
+        ns["_new_arena"] = lambda spec=spec: ScratchArena(spec)
     dummy_sid = lir.dummy_shape_id
     has_dummy = dummy_sid is not None
     single_real = lir.lut.shape[0] - (1 if has_dummy else 0) == 1
@@ -390,10 +664,10 @@ def build_namespace(lir: LIRModule) -> dict:
         if width > 8:
             ns["p2"] = (1 << np.arange(width, dtype=np.uint32))
         ns[f"{g}_th"] = np.ascontiguousarray(
-            layout.thresholds.reshape(k * tiles, width), dtype=np.float64
+            layout.thresholds.reshape(k * tiles, width), dtype=fdt
         )
         ns[f"{g}_fi"] = np.ascontiguousarray(
-            layout.features.reshape(k * tiles, width), dtype=np.int64
+            layout.features.reshape(k * tiles, width), dtype=idt
         )
         ns[f"{g}_sid"] = layout.shape_ids.reshape(-1).astype(np.int64)
         if single_real and has_dummy:
@@ -406,15 +680,15 @@ def build_namespace(lir: LIRModule) -> dict:
         if layout.kind == "sparse":
             ns[f"{g}_cb"] = layout.child_base.reshape(-1).astype(np.int64)
             leaves = layout.leaves
-            ns[f"{g}_lv"] = np.ascontiguousarray(leaves.reshape(-1), dtype=np.float64)
+            ns[f"{g}_lv"] = np.ascontiguousarray(leaves.reshape(-1), dtype=fdt)
             ns[f"{g}_laneL"] = np.arange(k, dtype=np.int64) * leaves.shape[1]
         else:
             ns[f"{g}_lv"] = np.ascontiguousarray(
-                layout.leaf_values.reshape(-1), dtype=np.float64
+                layout.leaf_values.reshape(-1), dtype=fdt
             )
             # Array layout leaf offsets coincide with tile offsets (per-slot
             # leaf values), so laneT doubles as the value base.
-        onehot = np.zeros((layout.num_trees, num_classes), dtype=np.float64)
+        onehot = np.zeros((layout.num_trees, num_classes), dtype=fdt)
         onehot[np.arange(layout.num_trees), layout.class_ids] = 1.0
         ns[f"{g}_oh"] = onehot
     return ns

@@ -4,8 +4,12 @@ Treebeard parallelizes naively: the row loop is tiled by the core count and
 each core runs the full tree nest on its block. Two realizations are
 provided:
 
-* :func:`parallel_predict` — real threads. Output blocks are disjoint, so
-  no synchronization is needed. (NumPy releases the GIL in many kernels;
+* :func:`parallel_predict` — real threads on a *persistent*, lazily-created
+  module-level pool shared by every predictor (serving micro-batches
+  included): spawning and joining a fresh ``ThreadPoolExecutor`` per call
+  costs more than small batches themselves, and persistent workers are what
+  make per-thread scratch arenas pay off. Output blocks are disjoint, so no
+  synchronization is needed. (NumPy releases the GIL in many kernels;
   scaling on a real multicore machine is partial but genuine.)
 * :class:`MulticoreSimulator` — a deterministic model for scaling studies
   on hosts without enough cores: each block is executed and timed serially,
@@ -16,12 +20,64 @@ provided:
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
+
+_POOL: ThreadPoolExecutor | None = None
+_POOL_LOCK = threading.Lock()
+_POOL_WORKERS = 0
+_POOLS_CREATED = 0
+_TASKS_SUBMITTED = 0
+
+
+def _default_pool_size() -> int:
+    return max(2, os.cpu_count() or 2)
+
+
+def get_pool(min_workers: int = 0) -> ThreadPoolExecutor:
+    """The shared kernel-execution pool, created once on first use.
+
+    Sized to the host's core count (at least ``min_workers``); later
+    requests for more concurrency than the pool holds simply queue — kernel
+    tasks are leaves, so queuing cannot deadlock.
+    """
+    global _POOL, _POOL_WORKERS, _POOLS_CREATED
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL_WORKERS = max(_default_pool_size(), min_workers)
+            _POOL = ThreadPoolExecutor(
+                max_workers=_POOL_WORKERS, thread_name_prefix="repro-kernel"
+            )
+            _POOLS_CREATED += 1
+        return _POOL
+
+
+def shutdown_pool(wait: bool = True) -> None:
+    """Tear down the shared pool (tests/benchmark hygiene); it will be
+    recreated lazily on the next :func:`parallel_predict` call."""
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+        _POOL_WORKERS = 0
+    if pool is not None:
+        pool.shutdown(wait=wait)
+
+
+def pool_stats() -> dict:
+    """Lifetime counters of the shared pool (serving metrics surface)."""
+    with _POOL_LOCK:
+        return {
+            "active": _POOL is not None,
+            "workers": _POOL_WORKERS,
+            "pools_created": _POOLS_CREATED,
+            "tasks_submitted": _TASKS_SUBMITTED,
+        }
 
 
 def row_blocks(num_rows: int, num_blocks: int) -> list[tuple[int, int]]:
@@ -43,19 +99,22 @@ def parallel_predict(
     out: np.ndarray,
     num_threads: int,
 ) -> np.ndarray:
-    """Run ``kernel`` over row blocks on a thread pool; returns ``out``."""
+    """Run ``kernel`` over row blocks on the shared pool; returns ``out``."""
+    global _TASKS_SUBMITTED
     blocks = row_blocks(rows.shape[0], num_threads)
     if not blocks:
         return out
     if len(blocks) == 1:
         kernel(rows, out)
         return out
-    with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
-        futures = [
-            pool.submit(kernel, rows[lo:hi], out[lo:hi]) for lo, hi in blocks
-        ]
-        for future in futures:
-            future.result()
+    pool = get_pool()
+    with _POOL_LOCK:
+        _TASKS_SUBMITTED += len(blocks)
+    futures = [
+        pool.submit(kernel, rows[lo:hi], out[lo:hi]) for lo, hi in blocks
+    ]
+    for future in futures:
+        future.result()
     return out
 
 

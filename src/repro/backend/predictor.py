@@ -5,9 +5,19 @@ the runtime policy (row blocking, parallel degree). It exposes raw margins
 (:meth:`raw_predict`) and objective-transformed predictions
 (:meth:`predict`), plus introspection hooks used heavily by the tests and
 experiments: the generated source, the LIR dump, and buffer footprints.
+
+Arena-mode kernels (``Schedule.scratch == "arena"``) write their walk-step
+temporaries into a preallocated :class:`~repro.lir.memory.ScratchArena`.
+The predictor owns one arena *per thread* (created lazily in thread-local
+storage), so parallel row blocks never share scratch; the weak registry
+behind :meth:`scratch_nbytes` tracks every live arena for footprint
+accounting without pinning arenas of dead threads.
 """
 
 from __future__ import annotations
+
+import threading
+import weakref
 
 import numpy as np
 
@@ -17,6 +27,7 @@ from repro.config import Schedule
 from repro.errors import ExecutionError
 from repro.forest.ensemble import Forest, sigmoid, softmax
 from repro.lir.ir import LIRModule
+from repro.lir.memory import ScratchArena, arena_spec
 
 
 class Predictor:
@@ -29,17 +40,30 @@ class Predictor:
         self.validate_inputs = validate_inputs
         self.kernel, self.source = compile_lir(lir)
         self._fingerprint: str | None = None
+        self.input_dtype = (
+            np.float32 if self.schedule.precision == "float32" else np.float64
+        )
+        self.arena_spec = (
+            arena_spec(lir) if self.schedule.scratch == "arena" else None
+        )
+        self._tls = threading.local()
+        self._arenas: "weakref.WeakSet[ScratchArena]" = weakref.WeakSet()
+        self._arenas_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
     def _check(self, rows: np.ndarray) -> np.ndarray:
-        rows = np.ascontiguousarray(rows, dtype=np.float64)
+        rows = np.asarray(rows)
         if rows.ndim != 2 or rows.shape[1] != self.lir.num_features:
             raise ExecutionError(
                 f"rows must be (n, {self.lir.num_features}), got {rows.shape}"
             )
-        if self.validate_inputs and np.isnan(rows).any():
+        if rows.dtype != self.input_dtype or not rows.flags.c_contiguous:
+            rows = np.ascontiguousarray(rows, dtype=self.input_dtype)
+        # Single cheap validation pass: min() propagates NaN without
+        # materializing an (n, F) boolean mask the way isnan().any() does.
+        if self.validate_inputs and rows.size and np.isnan(rows.min()):
             raise ExecutionError(
                 "NaN inputs are unsupported: speculative tile evaluation "
                 "requires totally ordered features"
@@ -48,6 +72,18 @@ class Predictor:
 
     def _alloc_out(self, n: int) -> np.ndarray:
         return np.full((n, self.lir.num_classes), self.lir.base_score, dtype=np.float64)
+
+    def _arena(self) -> ScratchArena | None:
+        """This thread's scratch arena (lazily created), or None in alloc mode."""
+        if self.arena_spec is None:
+            return None
+        arena = getattr(self._tls, "arena", None)
+        if arena is None:
+            arena = ScratchArena(self.arena_spec)
+            self._tls.arena = arena
+            with self._arenas_lock:
+                self._arenas.add(arena)
+        return arena
 
     def raw_predict(self, rows: np.ndarray, threads: int | None = None) -> np.ndarray:
         """Raw margins; matches ``Forest.raw_predict`` up to accumulation order.
@@ -68,10 +104,11 @@ class Predictor:
         return out[:, 0] if self.lir.num_classes == 1 else out
 
     def _run_blocks(self, rows: np.ndarray, out: np.ndarray) -> None:
+        arena = self._arena()
         block = self.schedule.row_block or max(rows.shape[0], 1)
         for lo in range(0, rows.shape[0], block):
             hi = min(lo + block, rows.shape[0])
-            self.kernel(rows[lo:hi], out[lo:hi])
+            self.kernel(rows[lo:hi], out[lo:hi], arena)
 
     def predict(self, rows: np.ndarray, threads: int | None = None) -> np.ndarray:
         """Objective-transformed predictions (probabilities for classifiers)."""
@@ -111,6 +148,15 @@ class Predictor:
     def memory_bytes(self) -> int:
         """Model-buffer footprint of the chosen in-memory representation."""
         return self.lir.total_nbytes()
+
+    def scratch_nbytes(self) -> int:
+        """Materialized scratch-arena footprint across all owning threads.
+
+        Zero for alloc-mode schedules and for arena-mode predictors that
+        have not run yet (arenas are created lazily per thread).
+        """
+        with self._arenas_lock:
+            return sum(arena.nbytes() for arena in self._arenas)
 
     def dump_ir(self) -> str:
         """MIR loop nest + LIR summary, for docs and debugging."""

@@ -34,12 +34,15 @@ class QuickScorerStrategyPredictor:
         self._impl = QuickScorerPredictor(forest)
 
     def _check(self, rows: np.ndarray) -> np.ndarray:
-        rows = np.ascontiguousarray(rows, dtype=np.float64)
+        rows = np.asarray(rows)
         if rows.ndim != 2 or rows.shape[1] != self.forest.num_features:
             raise ExecutionError(
                 f"rows must be (n, {self.forest.num_features}), got {rows.shape}"
             )
-        if self.validate_inputs and np.isnan(rows).any():
+        if rows.dtype != np.float64 or not rows.flags.c_contiguous:
+            rows = np.ascontiguousarray(rows, dtype=np.float64)
+        # min() propagates NaN in one pass without an (n, F) boolean mask.
+        if self.validate_inputs and rows.size and np.isnan(rows.min()):
             raise ExecutionError("NaN inputs are unsupported")
         return rows
 

@@ -19,6 +19,8 @@ TILINGS = ("basic", "probability", "hybrid", "optimal")
 LOOP_ORDERS = ("one-tree", "one-row")
 LAYOUTS = ("array", "sparse")
 TRAVERSALS = ("tiled", "quickscorer")
+PRECISIONS = ("float64", "float32")
+SCRATCH_MODES = ("arena", "alloc")
 
 
 @dataclass(frozen=True)
@@ -91,6 +93,19 @@ class Schedule:
     #: QuickScorer ignores the tiling-related knobs and caps trees at 64
     #: leaves.
     traversal: str = "tiled"
+    #: element width of the compiled model buffers and input rows (the
+    #: paper's element-width discussion): ``"float64"`` keeps reference
+    #: numerics; ``"float32"`` halves threshold/feature/leaf buffer
+    #: footprint and memory traffic and narrows the feature-index buffer to
+    #: int32, at ~1e-7 relative rounding of the emitted margins.
+    precision: str = "float64"
+    #: temporary-buffer policy of the emitted kernel: ``"arena"`` writes
+    #: every walk-step temporary into a preallocated per-thread scratch
+    #: arena via ``out=`` (the register/fixed-buffer residency of the
+    #: paper's generated SIMD loop); ``"alloc"`` emits the legacy
+    #: fresh-temporary-per-op statements (kept as an ablation/benchmark
+    #: reference).
+    scratch: str = "arena"
 
     def __post_init__(self) -> None:
         if not (1 <= self.tile_size <= 16):
@@ -113,6 +128,10 @@ class Schedule:
             raise ScheduleError("pad_max_slack must be >= 0")
         if self.traversal not in TRAVERSALS:
             raise ScheduleError(f"traversal must be one of {TRAVERSALS}")
+        if self.precision not in PRECISIONS:
+            raise ScheduleError(f"precision must be one of {PRECISIONS}")
+        if self.scratch not in SCRATCH_MODES:
+            raise ScheduleError(f"scratch must be one of {SCRATCH_MODES}")
 
     @classmethod
     def scalar_baseline(cls) -> "Schedule":

@@ -1,14 +1,25 @@
-"""Memory footprint accounting for tiled-tree representations.
+"""Memory footprint accounting and scratch arenas.
 
-Reproduces the Section V-B2 measurements: the array layout's bloat over the
-scalar (tile size 1) representation, and the sparse layout's recovery of
-that bloat. ``model_memory_report`` builds all three representations for a
-forest and reports their sizes.
+Two concerns live here:
+
+* Model-buffer accounting — reproduces the Section V-B2 measurements: the
+  array layout's bloat over the scalar (tile size 1) representation, and
+  the sparse layout's recovery of that bloat. ``model_memory_report``
+  builds all three representations for a forest and reports their sizes.
+* Scratch-buffer accounting — the :class:`ScratchArena` that backs the
+  zero-allocation kernels emitted by :mod:`repro.backend.codegen`. The
+  paper's generated SIMD loop keeps walk-step temporaries in registers and
+  fixed buffers across steps; the NumPy substitute is a per-thread arena of
+  preallocated vectors the kernel writes into via ``out=``.
+  :func:`arena_spec` sizes the arena at compile time from the lowered
+  module's ``(row_block, interleave chunk, lane width)`` extents.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.config import Schedule
 from repro.forest.ensemble import Forest
@@ -80,4 +91,168 @@ def model_memory_report(
         array_bytes=array,
         sparse_bytes=sparse,
         tile_size=tile_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scratch arenas (kernel temporaries)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Compile-time scratch requirements of one emitted kernel.
+
+    All extents are *per row*; the arena multiplies by the runtime batch
+    size (capped by the schedule's ``row_block``) when it materializes.
+
+    Attributes
+    ----------
+    max_lane:
+        Widest ``k * width`` product over the module's groups — elements of
+        one lane-shaped temporary (``thr``/``feat``/``cmp``/``fidx``) per
+        row.
+    max_scalar:
+        Widest interleave chunk ``k`` — elements of one scalar-shaped
+        temporary (``bits``/``ci``/``state``/``idx``) per row.
+    num_classes:
+        Columns of the per-chunk accumulation temporary.
+    num_features:
+        Row stride of the flattened feature gather (sizes the cached
+        row-offset vector).
+    per_row:
+        ``one-row`` loop order: temporaries are per single row, so capacity
+        is batch-size independent.
+    row_block:
+        Compile-time rows-per-invocation hint (0 = size lazily on the
+        first call).
+    float_dtype:
+        dtype name of float temporaries (the schedule's ``precision``).
+    findex_dtype:
+        dtype name of the feature-index temporary (matches the model's
+        feature-index buffer).
+    pack_widths:
+        Which movemask scratch integers the module's tile widths need
+        (subset of ``(16, 32, 64)``).
+    """
+
+    max_lane: int
+    max_scalar: int
+    num_classes: int
+    num_features: int
+    per_row: bool
+    row_block: int
+    float_dtype: str
+    findex_dtype: str
+    pack_widths: tuple[int, ...]
+
+    def nbytes_for(self, rows: int) -> int:
+        """Predicted arena footprint for a ``rows``-row invocation."""
+        n = 1 if self.per_row else max(1, rows)
+        fsize = np.dtype(self.float_dtype).itemsize
+        isize = np.dtype(self.findex_dtype).itemsize
+        lane, scalar = n * self.max_lane, n * self.max_scalar
+        total = lane * (2 * fsize + isize + 1)  # thr, feat, fidx, cmp
+        if not self.per_row:
+            total += lane * 8          # flat feature-gather indices
+            total += n * 8             # cached row offsets
+        total += scalar * 8 * 6        # idx, ci, sid, state, base, tmp
+        total += sum(scalar * (w // 8) for w in self.pack_widths)
+        total += n * self.num_classes * fsize  # matmul accumulator
+        return total
+
+
+class ScratchArena:
+    """Preallocated temporaries for one kernel, owned by one thread.
+
+    The emitted kernel binds shaped views of these flat vectors at the top
+    of each interleave chunk (and per compaction step) and writes every
+    walk-step temporary into them with ``out=`` — no allocation on the
+    steady-state path. Buffers grow monotonically: ``ensure`` reallocates
+    only when a larger batch arrives (never for ``per_row`` modules, whose
+    scratch is batch-size independent).
+
+    Arenas are deliberately *not* thread-safe: the predictor hands each
+    worker thread its own instance so parallel row blocks never share
+    scratch.
+    """
+
+    def __init__(self, spec: ArenaSpec) -> None:
+        self.spec = spec
+        self.cap_rows = 0
+        self.grows = 0
+        if spec.row_block:
+            self.ensure(spec.row_block)
+
+    def ensure(self, rows: int) -> "ScratchArena":
+        """Grow buffers to cover a ``rows``-row invocation; returns self."""
+        need = 1 if self.spec.per_row else max(1, int(rows))
+        if need > self.cap_rows:
+            self._allocate(need)
+        return self
+
+    def _allocate(self, rows: int) -> None:
+        spec = self.spec
+        fdt = np.dtype(spec.float_dtype)
+        lane = rows * spec.max_lane
+        scalar = rows * spec.max_scalar
+        self.f0 = np.empty(lane, dtype=fdt)                 # thr
+        self.f1 = np.empty(lane, dtype=fdt)                 # feat / vals
+        self.c0 = np.empty(lane, dtype=np.bool_)            # cmp
+        self.i0 = np.empty(lane, dtype=np.dtype(spec.findex_dtype))  # fidx
+        if not spec.per_row:
+            self.i1 = np.empty(lane, dtype=np.int64)        # gather indices
+            self.rof0 = np.arange(rows, dtype=np.int64) * spec.num_features
+        for name in ("i2", "i3", "i4", "i5", "i6", "i7"):
+            setattr(self, name, np.empty(scalar, dtype=np.int64))
+        for width in spec.pack_widths:
+            setattr(self, f"p{width}", np.empty(scalar, dtype=np.dtype(f"uint{width}")))
+        self.fm = np.empty(rows * spec.num_classes, dtype=fdt)  # accumulator
+        self.cap_rows = rows
+        self.grows += 1
+
+    def nbytes(self) -> int:
+        """Currently-materialized scratch footprint in bytes."""
+        return sum(
+            buf.nbytes
+            for buf in self.__dict__.values()
+            if isinstance(buf, np.ndarray)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ScratchArena(rows={self.cap_rows}, bytes={self.nbytes()}, "
+            f"grows={self.grows})"
+        )
+
+
+def arena_spec(lir) -> ArenaSpec:
+    """Size the scratch arena for ``lir`` (an :class:`~repro.lir.ir.LIRModule`).
+
+    Extents come from the compile-time-known interleave chunk ``k`` and
+    padded lane width of every non-trivial group — the NumPy analog of the
+    paper sizing its SIMD working set from the schedule.
+    """
+    max_lane = max_scalar = 0
+    pack_widths: set[int] = set()
+    for group in lir.groups:
+        if group.trivial:
+            continue
+        width = group.layout.thresholds.shape[2]
+        k = min(max(1, group.walk.width), group.layout.num_trees)
+        max_lane = max(max_lane, k * width)
+        max_scalar = max(max_scalar, k)
+        if width in (2, 4, 8):
+            pack_widths.add(width * 8)
+    schedule = lir.schedule
+    float32 = schedule.precision == "float32"
+    return ArenaSpec(
+        max_lane=max_lane,
+        max_scalar=max_scalar,
+        num_classes=lir.num_classes,
+        num_features=lir.num_features,
+        per_row=lir.mir.loop_order == "one-row",
+        row_block=schedule.row_block,
+        float_dtype="float32" if float32 else "float64",
+        findex_dtype="int32" if float32 else "int64",
+        pack_widths=tuple(sorted(pack_widths)),
     )

@@ -138,6 +138,11 @@ class PredictorCache:
         with self._lock:
             return list(self._entries)
 
+    def values(self) -> list[object]:
+        """Resident predictors (for footprint accounting; no recency bump)."""
+        with self._lock:
+            return list(self._entries.values())
+
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns whether it was present."""
         with self._lock:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
+from typing import Callable
 
 
 class LatencyWindow:
@@ -66,10 +67,15 @@ class ServingMetrics:
     ``batch_rows_hist``     {rows per executed batch: count}
     ``batch_requests_hist`` {requests coalesced per batch: count}
     ``latency``             {count, p50, p90, p99, max} in seconds
+    ``runtime``             registered gauges, read at snapshot time (the
+                            server wires in kernel-pool counters and the
+                            scratch-arena / model-buffer footprints of
+                            resident predictors)
     """
 
     def __init__(self, latency_window: int = 2048) -> None:
         self._lock = threading.Lock()
+        self._gauges: dict[str, Callable[[], object]] = {}
         self.compiles = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -124,6 +130,28 @@ class ServingMetrics:
             self.batch_rows_hist[int(num_rows)] += 1
             self.batch_requests_hist[int(num_requests)] += 1
 
+    def register_gauge(self, name: str, fn: Callable[[], object]) -> None:
+        """Attach a point-in-time gauge evaluated on every snapshot.
+
+        Gauges surface runtime state that is owned elsewhere (shared kernel
+        pool, per-thread scratch arenas) without the metrics object holding
+        references into the execution path. A gauge that raises reports the
+        error string instead of poisoning the snapshot.
+        """
+        with self._lock:
+            self._gauges[name] = fn
+
+    def _read_gauges(self) -> dict:
+        with self._lock:
+            gauges = dict(self._gauges)
+        values: dict[str, object] = {}
+        for name, fn in gauges.items():
+            try:
+                values[name] = fn()
+            except Exception as exc:  # pragma: no cover - defensive
+                values[name] = f"<gauge error: {exc}>"
+        return values
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -138,7 +166,8 @@ class ServingMetrics:
             }
 
     def snapshot(self) -> dict:
-        """Atomic copy of every counter and histogram."""
+        """Atomic copy of every counter and histogram (plus gauge reads)."""
+        runtime = self._read_gauges()
         with self._lock:
             return {
                 "compiles": self.compiles,
@@ -159,6 +188,7 @@ class ServingMetrics:
                     "p99": self._latency.percentile(99),
                     "max": self._max_latency if len(self._latency) else None,
                 },
+                "runtime": runtime,
             }
 
     def __repr__(self) -> str:

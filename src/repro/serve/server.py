@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend.parallel import pool_stats
 from repro.config import Schedule
 from repro.errors import ServingError
 from repro.forest.ensemble import Forest
@@ -62,6 +63,26 @@ class ModelServer:
         self._sessions: dict[str, InferenceSession] = {}
         self._lock = threading.Lock()
         self._closed = False
+        # Runtime gauges: the shared kernel pool plus the footprints of
+        # every resident predictor (model buffers + per-thread scratch
+        # arenas), read at snapshot time.
+        self.metrics.register_gauge("kernel_pool", pool_stats)
+        self.metrics.register_gauge("scratch_bytes", self._scratch_bytes)
+        self.metrics.register_gauge("model_bytes", self._model_bytes)
+
+    def _scratch_bytes(self) -> int:
+        return sum(
+            p.scratch_nbytes()
+            for p in self.cache.values()
+            if hasattr(p, "scratch_nbytes")
+        )
+
+    def _model_bytes(self) -> int:
+        return sum(
+            p.memory_bytes()
+            for p in self.cache.values()
+            if hasattr(p, "memory_bytes")
+        )
 
     # ------------------------------------------------------------------
     # Registration

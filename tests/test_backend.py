@@ -14,7 +14,13 @@ from repro.backend.jit import (
     model_fingerprint,
     set_cache_limit,
 )
-from repro.backend.parallel import MulticoreSimulator, parallel_predict, row_blocks
+from repro.backend.parallel import (
+    MulticoreSimulator,
+    parallel_predict,
+    pool_stats,
+    row_blocks,
+    shutdown_pool,
+)
 from repro.config import Schedule
 from repro.errors import CodegenError, ExecutionError
 from repro.hir.ir import build_hir
@@ -33,12 +39,24 @@ class TestCodegen:
     def test_source_contains_walk_ops(self, trained_forest):
         lir = lower(trained_forest, Schedule())
         source = emit_module_source(lir)
-        assert "def predict_block(rows, out):" in source
-        # The §V-A op sequence: loads, gather, compare, bit pack, LUT lookup.
+        assert "def predict_block(rows, out, arena=None):" in source
+        # The §V-A op sequence: loads, gather, compare, bit pack, LUT lookup
+        # — arena emission writes each op into preallocated scratch.
+        assert "_th, idx" in source and "_fi, idx" in source
+        assert "_np.less(feat, thr, out=cmp)" in source
+        assert "0x0102040810204080" in source  # movemask analog at width 8
+        assert "_np.take(lut, sid, mode='clip', out=ci)" in source
+
+    def test_alloc_source_contains_walk_ops(self, trained_forest):
+        """The legacy fresh-temporary emitter survives as scratch="alloc"."""
+        lir = lower(trained_forest, Schedule(scratch="alloc"))
+        source = emit_module_source(lir)
+        assert "def predict_block(rows, out, arena=None):" in source
         assert "_th, idx" in source and "_fi, idx" in source
         assert "cmp = feat < thr" in source
-        assert "0x0102040810204080" in source  # movemask analog at width 8
+        assert "0x0102040810204080" in source
         assert "_np.take(lut," in source
+        assert "out=" not in source.replace("(rows, out, arena=None)", "")
 
     def test_unrolled_source_has_no_while(self, trained_forest):
         lir = lower(trained_forest, Schedule(pad_and_unroll=True, pad_max_slack=99))
@@ -269,6 +287,67 @@ class TestParallelRuntime:
         result = parallel_predict(kernel, np.zeros((0, 2)), out, num_threads=4)
         assert result is out
         assert calls == []
+
+    def test_pool_is_persistent_across_calls(self):
+        """Regression: parallel_predict must not spawn a pool per call."""
+
+        def kernel(rows, out):
+            out[:] = 1.0
+
+        shutdown_pool()
+        rows = np.zeros((32, 2))
+        baseline = pool_stats()["pools_created"]
+        for _ in range(5):
+            parallel_predict(kernel, rows, np.zeros((32, 1)), num_threads=4)
+        stats = pool_stats()
+        assert stats["active"]
+        assert stats["pools_created"] == baseline + 1  # one lazy creation, ever
+        assert stats["workers"] >= 2
+
+    def test_pool_reuses_worker_threads(self):
+        """The same named worker threads service repeated calls."""
+        import threading as _threading
+
+        def kernel(rows, out):
+            out[:] = rows.sum(axis=1, keepdims=True)
+
+        shutdown_pool()
+        rows = np.arange(64, dtype=np.float64).reshape(32, 2)
+        parallel_predict(kernel, rows, np.zeros((32, 1)), num_threads=4)
+        workers = {
+            t.ident for t in _threading.enumerate()
+            if t.name.startswith("repro-kernel")
+        }
+        assert workers
+        for _ in range(4):
+            parallel_predict(kernel, rows, np.zeros((32, 1)), num_threads=4)
+        after = {
+            t.ident for t in _threading.enumerate()
+            if t.name.startswith("repro-kernel")
+        }
+        # Original workers survive every call (nothing is torn down per
+        # call) and the population stays bounded by the pool's size.
+        assert workers <= after
+        assert len(after) <= pool_stats()["workers"]
+
+    def test_pool_counts_submitted_tasks(self):
+        def kernel(rows, out):
+            out[:] = 0.0
+
+        before = pool_stats()["tasks_submitted"]
+        parallel_predict(kernel, np.zeros((30, 2)), np.zeros((30, 1)), num_threads=3)
+        assert pool_stats()["tasks_submitted"] == before + 3
+
+    def test_shutdown_pool_allows_recreation(self):
+        def kernel(rows, out):
+            out[:] = 2.0
+
+        shutdown_pool()
+        assert not pool_stats()["active"]
+        out = np.zeros((8, 1))
+        parallel_predict(kernel, np.zeros((8, 2)), out, num_threads=2)
+        assert (out == 2.0).all()
+        assert pool_stats()["active"]
 
     def test_simulator_zero_rows(self):
         def kernel(rows, out):

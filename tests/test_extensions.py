@@ -96,6 +96,13 @@ class TestSingleShapeSpecialization:
     def test_tile1_source_has_no_lut(self, trained_forest):
         lir = lower(trained_forest, Schedule(tile_size=1))
         source = emit_module_source(lir)
+        # Arena emitter: the LUT lookup folds to `1 - bit` written in place.
+        assert "_np.subtract(1, cmp[..., 0], out=ci)" in source
+        assert "_np.take(lut," not in source
+
+    def test_tile1_alloc_source_has_no_lut(self, trained_forest):
+        lir = lower(trained_forest, Schedule(tile_size=1, scratch="alloc"))
+        source = emit_module_source(lir)
         assert "ci = 1 - cmp[..., 0]" in source
         assert "_np.take(lut," not in source
 
