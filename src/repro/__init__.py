@@ -37,6 +37,7 @@ from repro.errors import (
 )
 from repro.forest.ensemble import Forest
 from repro.forest.tree import DecisionTree
+from repro.observe import explain
 from repro.serve import (
     BatchingPolicy,
     InferenceSession,
@@ -71,6 +72,7 @@ __all__ = [
     "ServingError",
     "TilingError",
     "compile_model",
+    "explain",
     "predict",
     "serve_model",
     "train_gbdt",

@@ -18,6 +18,8 @@ from repro.hir.ir import build_hir
 from repro.lir.lowering import lower_mir_to_lir
 from repro.mir.lowering import lower_hir_to_mir
 from repro.mir.passes import run_mir_pipeline
+from repro.observe import registry
+from repro.observe.trace import CompilationTrace
 
 
 def compile_model(
@@ -47,18 +49,37 @@ def compile_model(
         undefined for unordered values).
     """
     schedule = schedule or Schedule()
+    trace = CompilationTrace(
+        label=f"trees={forest.num_trees} tile={schedule.tile_size} "
+        f"{schedule.tiling}/{schedule.layout}"
+    )
     if schedule.traversal == "quickscorer":
         # Alternative traversal strategy (Section VII): QuickScorer behind
         # the same predictor interface.
         from repro.backend.strategies import QuickScorerStrategyPredictor
 
-        return QuickScorerStrategyPredictor(
-            forest, schedule, validate_inputs=validate_inputs
+        with trace.span("quickscorer"):
+            predictor = QuickScorerStrategyPredictor(
+                forest, schedule, validate_inputs=validate_inputs
+            )
+        predictor.trace = trace.finish()
+        registry.record_trace(trace)
+        return predictor
+    with trace.span("hir"):
+        hir = build_hir(forest, schedule, validate=validate_tiling, trace=trace)
+    with trace.span("mir-lower"):
+        mir = lower_hir_to_mir(hir)
+    with trace.span("mir-passes"):
+        run_mir_pipeline(mir, hir, trace=trace)
+    with trace.span("lir-lower"):
+        lir = lower_mir_to_lir(mir, hir, trace=trace)
+    with trace.span("backend"):
+        predictor = Predictor(
+            forest, lir, validate_inputs=validate_inputs, trace=trace
         )
-    hir = build_hir(forest, schedule, validate=validate_tiling)
-    mir = run_mir_pipeline(lower_hir_to_mir(hir), hir)
-    lir = lower_mir_to_lir(mir, hir)
-    return Predictor(forest, lir, validate_inputs=validate_inputs)
+    trace.finish()
+    registry.record_trace(trace)
+    return predictor
 
 
 def predict(forest: Forest, rows: np.ndarray, schedule: Schedule | None = None) -> np.ndarray:

@@ -66,6 +66,7 @@ import numpy as np
 from repro.errors import CodegenError
 from repro.lir.ir import LIRGroup, LIRModule
 from repro.lir.memory import ScratchArena, arena_spec
+from repro.observe.profile import ProfileRecorder
 
 
 class _Emitter:
@@ -143,6 +144,7 @@ class _GroupEmitter:
         self.lut_cols = lir.lut.shape[1]
         self.has_dummy = lir.dummy_shape_id is not None
         self.arena = lir.schedule.scratch == "arena"
+        self.profile = lir.schedule.profile
         # Number of LUT rows describing *real* tile shapes (the reserved
         # dummy row routes data-independently and is handled by masking).
         self.real_shapes = lir.lut.shape[0] - (1 if self.has_dummy else 0)
@@ -160,6 +162,31 @@ class _GroupEmitter:
     def _needs_pack(self) -> bool:
         single_shape = self.real_shapes == 1
         return self.width in (2, 4, 8) and not (single_shape and self.width == 1)
+
+    # -- profiling (Schedule.profile) ----------------------------------
+    def prof(self, text: str) -> None:
+        """Emit a profiling-counter statement — only under ``profile=True``.
+
+        With profiling off this is a no-op, so the generated source carries
+        zero profiling references (compiled out, not branched over).
+        """
+        if self.profile:
+            self.e.emit(text)
+
+    def _scratch_bytes_per_elem(self, full: bool) -> int:
+        """Bytes of arena views bound per working-set element (compile-time
+        constant, so the emitted increment is one multiply)."""
+        fsize = 4 if self.lir.schedule.precision == "float32" else 8
+        isize = 4 if self.lir.schedule.precision == "float32" else 8
+        per = self.width * (2 * fsize + isize + 1)      # thr, feat, fidx, cmp
+        if self.vec:
+            per += self.width * 8                       # gidx
+        per += 3 * 8                                    # ci, sid, base
+        if self._needs_pack():
+            per += self.width                           # pv (uint{W*8})
+        if full:
+            per += 8                                    # idx
+        return per
 
     def bind_scratch(self, n_expr: str, shape: str, full: bool) -> None:
         """Bind shaped arena views for the step temporaries.
@@ -185,6 +212,7 @@ class _GroupEmitter:
             e.emit(f"pv = _A.p{self.width * 8}[:_n].reshape({shape})")
         if full:
             e.emit(f"idx = _A.i2[:_n].reshape({shape})")
+        self.prof(f"_C.scratch_bytes += _n * {self._scratch_bytes_per_elem(full)}")
 
     def bind_vals(self) -> None:
         """Bind the leaf-value view at full working-set shape (the final
@@ -226,10 +254,12 @@ class _GroupEmitter:
         e.emit(f"bits = {_pack_bits_expr(self.width)}")     # packBits
         if single_shape:
             e.emit("ci = _np.take(lut1, bits)")             # lookupChildIndex
+            self.prof(f"_C.lut_lookups += ({idx}).size")
             self._mask_dummies(idx)
             return
         e.emit(f"sid = _np.take({g}_sid, {idx})")           # loadTileShape
         e.emit(f"ci = _np.take(lut, sid * {self.lut_cols} + bits)")  # lookupChildIndex
+        self.prof(f"_C.lut_lookups += ({idx}).size")
 
     def _eval_tile_arena(self, idx: str, feat_index: str) -> None:
         """Arena realization of the same op sequence: every temporary lands
@@ -252,12 +282,14 @@ class _GroupEmitter:
         self._emit_pack_arena()
         if single_shape:
             e.emit("_np.take(lut1, bits, mode='clip', out=ci)")
+            self.prof(f"_C.lut_lookups += ({idx}).size")
             self._mask_dummies_arena(idx)
             return
         e.emit(f"_np.take({g}_sid, {idx}, mode='clip', out=sid)")
         e.emit(f"_np.multiply(sid, {self.lut_cols}, out=sid)")
         e.emit("_np.add(sid, bits, out=sid)")
         e.emit("_np.take(lut, sid, mode='clip', out=ci)")
+        self.prof(f"_C.lut_lookups += ({idx}).size")
 
     def _emit_pack_arena(self) -> None:
         """packBits into the width-matched unsigned scratch (``pv``); wrap
@@ -350,6 +382,7 @@ class _GroupEmitter:
                 e.emit("idx = bofs + state")
                 self.eval_tile("idx", self._feat_full())
                 e.emit(f"state = _np.take({g}_cb, idx) + ci")    # advanceToChild
+            self.prof("_C.walk_steps += idx.size")
             e.emit()
 
         if walk.style == "unrolled":
@@ -370,11 +403,14 @@ class _GroupEmitter:
                 self.eval_tile("idx", self._feat_full())
                 e.emit(f"base = _np.take({g}_cb, idx)")
                 e.emit(f"vals = _np.take({g}_lv, lofs - base - 1 + ci)")
+            self.prof("_C.walk_steps += idx.size")
+            self.prof(f"_C.unrolled_steps += {walk.depth}")
             return
 
         if walk.style == "peeled":
             for _ in range(walk.peel):
                 advance()
+            self.prof(f"_C.peeled_steps += {walk.peel}")
 
         if not self.lir.schedule.compact_walks:
             # Ablation path: masked loop. Finished lanes re-evaluate the
@@ -384,6 +420,10 @@ class _GroupEmitter:
             if arena:
                 e.emit(f"t = _A.i7[:_n].reshape({self._full_shape})")
             with e.block("while alive.any():"):
+                self.prof("_pa = int(alive.sum())")
+                self.prof("_C.walk_steps += _pa")
+                self.prof("_C.rows_masked += alive.size - _pa")
+                self.prof("_C.loop_iterations += 1")
                 if arena:
                     e.emit("_np.multiply(state, alive, out=t)")
                     e.emit("_np.add(bofs, t, out=idx)")
@@ -403,6 +443,8 @@ class _GroupEmitter:
         elif self.vec:
             e.emit("act_r, act_l = _np.nonzero(state >= 0)")
             with e.block("while act_r.size:"):
+                self.prof("_C.walk_steps += act_r.size")
+                self.prof("_C.loop_iterations += 1")
                 if arena:
                     self.bind_scratch("act_r.size", "_n", full=False)
                 e.emit("t = state[act_r, act_l]")
@@ -420,6 +462,8 @@ class _GroupEmitter:
         else:
             e.emit("act = _np.nonzero(state >= 0)[0]")
             with e.block("while act.size:"):
+                self.prof("_C.walk_steps += act.size")
+                self.prof("_C.loop_iterations += 1")
                 if arena:
                     self.bind_scratch("act.size", "_n", full=False)
                 e.emit("t = state[act]")
@@ -462,6 +506,7 @@ class _GroupEmitter:
                 e.emit("idx = bofs + state")
                 self.eval_tile("idx", self._feat_full())
                 e.emit(f"state = state * {arity} + ci + 1")
+            self.prof("_C.walk_steps += idx.size")
             e.emit()
 
         def final_vals() -> None:
@@ -476,12 +521,14 @@ class _GroupEmitter:
         if walk.style == "unrolled":
             for _ in range(walk.depth):
                 advance()
+            self.prof(f"_C.unrolled_steps += {walk.depth}")
             final_vals()
             return
 
         if walk.style == "peeled":
             for _ in range(walk.peel):
                 advance()
+            self.prof(f"_C.peeled_steps += {walk.peel}")
 
         if not self.lir.schedule.compact_walks:
             # Ablation path: masked loop (see the sparse variant).
@@ -492,6 +539,10 @@ class _GroupEmitter:
             else:
                 e.emit(f"alive = _np.take({g}_sid, bofs + state) >= 0")
             with e.block("while alive.any():"):
+                self.prof("_pa = int(alive.sum())")
+                self.prof("_C.walk_steps += _pa")
+                self.prof("_C.rows_masked += alive.size - _pa")
+                self.prof("_C.loop_iterations += 1")
                 if arena:
                     e.emit("_np.multiply(state, alive, out=t)")
                     e.emit("_np.add(bofs, t, out=idx)")
@@ -516,6 +567,8 @@ class _GroupEmitter:
         if self.vec:
             e.emit(f"act_r, act_l = _np.nonzero(_np.take({g}_sid, bofs + state) >= 0)")
             with e.block("while act_r.size:"):
+                self.prof("_C.walk_steps += act_r.size")
+                self.prof("_C.loop_iterations += 1")
                 if arena:
                     self.bind_scratch("act_r.size", "_n", full=False)
                 e.emit("t = state[act_r, act_l]")
@@ -529,6 +582,8 @@ class _GroupEmitter:
         else:
             e.emit(f"act = _np.nonzero(_np.take({g}_sid, bofs + state) >= 0)[0]")
             with e.block("while act.size:"):
+                self.prof("_C.walk_steps += act.size")
+                self.prof("_C.loop_iterations += 1")
                 if arena:
                     self.bind_scratch("act.size", "_n", full=False)
                 e.emit("t = state[act]")
@@ -596,6 +651,13 @@ def emit_module_source(lir: LIRModule) -> str:
     e.emit('"""Generated by repro.backend.codegen — do not edit."""')
     with e.block("def predict_block(rows, out, arena=None):"):
         e.emit("B = rows.shape[0]")
+        if lir.schedule.profile:
+            # Kernel profiling (Schedule.profile): bind this thread's
+            # counter struct once per invocation; the walk emits plain
+            # integer increments against it. Absent when profile=False.
+            e.emit("_C = _P.local()")
+            e.emit("_C.kernel_calls += 1")
+            e.emit("_C.rows += B")
         if arena:
             with e.block("if arena is None:"):
                 e.emit("arena = _new_arena()")
@@ -620,7 +682,7 @@ def emit_module_source(lir: LIRModule) -> str:
     return e.source()
 
 
-def build_namespace(lir: LIRModule) -> dict:
+def build_namespace(lir: LIRModule, profile_recorder: ProfileRecorder | None = None) -> dict:
     """The globals the generated source runs against.
 
     Layout buffers are flattened with per-lane base offsets precomputed and
@@ -639,6 +701,10 @@ def build_namespace(lir: LIRModule) -> dict:
     if lir.schedule.scratch == "arena":
         spec = arena_spec(lir)
         ns["_new_arena"] = lambda spec=spec: ScratchArena(spec)
+    if lir.schedule.profile:
+        # The kernel's `_C = _P.local()` resolves against this recorder;
+        # the predictor keeps a reference for aggregation.
+        ns["_P"] = profile_recorder if profile_recorder is not None else ProfileRecorder()
     dummy_sid = lir.dummy_shape_id
     has_dummy = dummy_sid is not None
     single_real = lir.lut.shape[0] - (1 if has_dummy else 0) == 1

@@ -26,6 +26,8 @@ from typing import TYPE_CHECKING, Callable
 from repro.backend.codegen import build_namespace, emit_module_source
 from repro.errors import CodegenError
 from repro.lir.ir import LIRModule
+from repro.observe.profile import ProfileRecorder
+from repro.observe.trace import CompilationTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.config import Schedule
@@ -62,11 +64,30 @@ def compile_source(source: str, namespace: dict) -> Callable:
     return fn
 
 
-def compile_lir(lir: LIRModule) -> tuple[Callable, str]:
-    """Emit + compile ``lir``; returns ``(predict_block, source)``."""
-    source = emit_module_source(lir)
-    namespace = build_namespace(lir)
-    return compile_source(source, namespace), source
+def compile_lir(
+    lir: LIRModule,
+    trace: CompilationTrace | None = None,
+    profile_recorder: ProfileRecorder | None = None,
+) -> tuple[Callable, str]:
+    """Emit + compile ``lir``; returns ``(predict_block, source)``.
+
+    ``trace`` gets one span per backend stage (source emission, namespace
+    materialization, bytecode compile); ``profile_recorder`` is bound as
+    the kernel's ``_P`` when the schedule enables profiling.
+    """
+    trace = trace or CompilationTrace()
+    with trace.span("codegen-emit") as span:
+        source = emit_module_source(lir)
+        span.stats["source_lines"] = source.count("\n")
+        span.stats["source_bytes"] = len(source)
+    with trace.span("codegen-namespace") as span:
+        namespace = build_namespace(lir, profile_recorder=profile_recorder)
+        span.stats["num_globals"] = len(namespace)
+    with trace.span("jit-compile") as span:
+        cached_before = cache_size()
+        kernel = compile_source(source, namespace)
+        span.stats["code_cache_hit"] = cache_size() == cached_before
+    return kernel, source
 
 
 def cache_size() -> int:

@@ -34,6 +34,7 @@ _POOL_LOCK = threading.Lock()
 _POOL_WORKERS = 0
 _POOLS_CREATED = 0
 _TASKS_SUBMITTED = 0
+_TASKS_COMPLETED = 0
 
 
 def _default_pool_size() -> int:
@@ -77,6 +78,7 @@ def pool_stats() -> dict:
             "workers": _POOL_WORKERS,
             "pools_created": _POOLS_CREATED,
             "tasks_submitted": _TASKS_SUBMITTED,
+            "tasks_completed": _TASKS_COMPLETED,
         }
 
 
@@ -100,7 +102,7 @@ def parallel_predict(
     num_threads: int,
 ) -> np.ndarray:
     """Run ``kernel`` over row blocks on the shared pool; returns ``out``."""
-    global _TASKS_SUBMITTED
+    global _TASKS_SUBMITTED, _TASKS_COMPLETED
     blocks = row_blocks(rows.shape[0], num_threads)
     if not blocks:
         return out
@@ -113,8 +115,16 @@ def parallel_predict(
     futures = [
         pool.submit(kernel, rows[lo:hi], out[lo:hi]) for lo, hi in blocks
     ]
-    for future in futures:
-        future.result()
+    done = 0
+    try:
+        for future in futures:
+            future.result()
+            done += 1
+    finally:
+        # submitted - completed > 0 in steady state flags tasks that died
+        # with an exception — the gauge dashboards watch for the gap.
+        with _POOL_LOCK:
+            _TASKS_COMPLETED += done
     return out
 
 

@@ -28,17 +28,38 @@ from repro.errors import ExecutionError
 from repro.forest.ensemble import Forest, sigmoid, softmax
 from repro.lir.ir import LIRModule
 from repro.lir.memory import ScratchArena, arena_spec
+from repro.observe.profile import ProfileRecorder
+from repro.observe.trace import CompilationTrace
 
 
 class Predictor:
     """Executable inference function for one compiled model."""
 
-    def __init__(self, forest: Forest, lir: LIRModule, validate_inputs: bool = True) -> None:
+    def __init__(
+        self,
+        forest: Forest,
+        lir: LIRModule,
+        validate_inputs: bool = True,
+        trace: CompilationTrace | None = None,
+    ) -> None:
         self.forest = forest
         self.lir = lir
         self.schedule: Schedule = lir.schedule
         self.validate_inputs = validate_inputs
-        self.kernel, self.source = compile_lir(lir)
+        #: the compilation trace this predictor was built under (None when
+        #: constructed outside ``compile_model``); see ``trace.report()``
+        self.trace = trace
+        self.profile_recorder = (
+            ProfileRecorder(
+                label=f"trees{forest.num_trees}-t{lir.schedule.tile_size}"
+                f"-{lir.schedule.tiling}-{lir.schedule.layout}"
+            )
+            if self.schedule.profile
+            else None
+        )
+        self.kernel, self.source = compile_lir(
+            lir, trace=trace, profile_recorder=self.profile_recorder
+        )
         self._fingerprint: str | None = None
         self.input_dtype = (
             np.float32 if self.schedule.precision == "float32" else np.float64
@@ -157,6 +178,21 @@ class Predictor:
         """
         with self._arenas_lock:
             return sum(arena.nbytes() for arena in self._arenas)
+
+    def profile_counters(self) -> dict:
+        """Aggregated kernel profiling counters across all threads.
+
+        Requires ``Schedule(profile=True)``; returns ``{}`` otherwise (the
+        instrumentation was compiled out of the kernel entirely).
+        """
+        if self.profile_recorder is None:
+            return {}
+        return self.profile_recorder.aggregate()
+
+    def reset_profile(self) -> None:
+        """Zero the profiling counters (before/after measurements)."""
+        if self.profile_recorder is not None:
+            self.profile_recorder.reset()
 
     def dump_ir(self) -> str:
         """MIR loop nest + LIR summary, for docs and debugging."""

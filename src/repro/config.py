@@ -106,6 +106,13 @@ class Schedule:
     #: fresh-temporary-per-op statements (kept as an ablation/benchmark
     #: reference).
     scratch: str = "arena"
+    #: compile kernel profiling counters *into* the generated source (walk
+    #: steps, LUT lookups, masked lanes, scratch bytes — see
+    #: :mod:`repro.observe.profile`). Off by default: with ``False`` the
+    #: instrumentation is absent from the emitted code entirely (not
+    #: branched over), so the production hot path is untouched. Profiling
+    #: never changes predictions — only counts what the kernel did.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if not (1 <= self.tile_size <= 16):

@@ -13,7 +13,11 @@ from __future__ import annotations
 import sys
 
 from repro.datasets.registry import BENCHMARKS, mixed_rows
-from repro.experiments.harness import ExperimentConfig, benchmark_model
+from repro.experiments.harness import (
+    ExperimentConfig,
+    benchmark_model,
+    record_schedule_trace,
+)
 from repro.experiments.speedups import scalar_baseline_us, tuned_predictor
 from repro.perf.machine import AMD_RYZEN_LIKE, INTEL_ROCKET_LAKE_LIKE
 from repro.perf.simpipe import stall_breakdown, trace_variant
@@ -48,6 +52,7 @@ def run(
         forest, rows, scale = benchmark_model(name, config)
         base_us = scalar_baseline_us(forest, rows, repeats=config.repeats)
         predictor, best_us, schedule = tuned_predictor(forest, rows, config, tune=tune)
+        record_schedule_trace(config, name, "tuned", predictor)
         entry = {
             "dataset": name,
             "scale": scale,

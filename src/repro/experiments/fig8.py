@@ -16,6 +16,7 @@ from repro.experiments.harness import (
     BASELINE_SAMPLE_ROWS,
     ExperimentConfig,
     benchmark_model,
+    record_schedule_trace,
     time_per_row,
 )
 from repro.experiments.speedups import simulated_parallel_us, tuned_predictor
@@ -38,6 +39,7 @@ def run(
         xgb = XGBoostV15Predictor(forest)
         treelite = TreelitePredictor(forest)
         predictor, tb_us, _ = tuned_predictor(forest, rows, config, tune=tune)
+        record_schedule_trace(config, name, "tuned", predictor)
         xgb_us = time_per_row(xgb.raw_predict, rows, repeats=config.repeats)
         tl_us = time_per_row(
             treelite.raw_predict, rows, repeats=config.repeats, sample=BASELINE_SAMPLE_ROWS

@@ -39,9 +39,45 @@ class ExperimentConfig:
     seed: int = 0
     scale: float | None = None  # None -> default_scale per benchmark
     use_cache: bool = True
+    #: when set, per-schedule compilation traces are written as
+    #: ``<trace_dir>/<benchmark>-<label>.trace.json`` (see
+    #: :func:`record_schedule_trace`); also enabled by REPRO_TRACE_DIR
+    record_traces: bool = False
+    trace_dir: str | None = None
 
     def scale_for(self, spec: DatasetSpec) -> float:
         return self.scale if self.scale is not None else default_scale(spec)
+
+    def resolved_trace_dir(self) -> str | None:
+        """Directory to write traces into, or None when tracing is off."""
+        env = os.environ.get("REPRO_TRACE_DIR")
+        if env:
+            return env
+        if self.record_traces:
+            return self.trace_dir or "traces"
+        return None
+
+
+def record_schedule_trace(
+    config: ExperimentConfig, benchmark: str, label: str, predictor
+) -> str | None:
+    """Persist ``predictor``'s compilation trace for offline inspection.
+
+    Experiment modules call this for each (benchmark, schedule) pair they
+    compile; with tracing off it is a no-op. Returns the written path. The
+    trace JSON mirrors ``CompilationTrace.to_dict()`` — per-pass wall time
+    plus the IR statistics each pass attached.
+    """
+    trace_dir = config.resolved_trace_dir()
+    trace = getattr(predictor, "trace", None)
+    if trace_dir is None or trace is None:
+        return None
+    os.makedirs(trace_dir, exist_ok=True)
+    safe_label = "".join(c if c.isalnum() or c in "-_." else "_" for c in label)
+    path = os.path.join(trace_dir, f"{benchmark}-{safe_label}.trace.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace.to_json(indent=2))
+    return path
 
 
 def benchmark_model(

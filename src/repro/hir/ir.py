@@ -16,6 +16,8 @@ import numpy as np
 from repro.config import Schedule
 from repro.forest.ensemble import Forest
 from repro.hir.padding import pad_to_uniform_depth
+from repro.observe.stats import padding_stats, reorder_stats, tiling_stats
+from repro.observe.trace import CompilationTrace
 from repro.hir.reorder import TreeGroup, reorder_trees
 from repro.hir.tiling.basic import basic_tiling
 from repro.hir.tiling.hybrid import hybrid_tiling
@@ -72,37 +74,53 @@ def _tile_tree(tree, schedule: Schedule):
     return hybrid_tiling(tree, schedule.tile_size, alpha=schedule.alpha, beta=schedule.beta)
 
 
-def build_hir(forest: Forest, schedule: Schedule, validate: bool = True) -> HIRModule:
+def build_hir(
+    forest: Forest,
+    schedule: Schedule,
+    validate: bool = True,
+    trace: CompilationTrace | None = None,
+) -> HIRModule:
     """Run all HIR transformations: tile, pad, reorder, register shapes.
 
     ``validate`` controls whether each produced tiling is re-checked against
     the Section III-B1 constraints (kept on by default; the check is linear
-    in model size).
+    in model size). ``trace`` receives one timed span per transformation,
+    each carrying its IR statistics (tile-shape histogram, padding overhead,
+    group structure).
     """
+    trace = trace or CompilationTrace()
     tiled_trees: list[TiledTree] = []
-    for tree in forest.trees:
-        tiling = _tile_tree(tree, schedule)
-        tiled = TiledTree.from_tiling(tree, tiling, schedule.tile_size, validate=validate)
+    with trace.span("tiling") as span:
+        for tree in forest.trees:
+            tiling = _tile_tree(tree, schedule)
+            tiled = TiledTree.from_tiling(
+                tree, tiling, schedule.tile_size, validate=validate
+            )
+            tiled_trees.append(tiled)
+
+    with trace.span("padding") as pad_span:
         if schedule.pad_and_unroll:
-            pad_to_uniform_depth(tiled, max_slack=schedule.pad_max_slack)
-        tiled_trees.append(tiled)
+            for tiled in tiled_trees:
+                pad_to_uniform_depth(tiled, max_slack=schedule.pad_max_slack)
 
     # Guarded (non-unrolled) walks share one kernel for any tree, so all
     # trees merge into a single depth-sorted group; unrolled walks need
     # depth-homogeneous groups.
-    groups = reorder_trees(
-        tiled_trees,
-        enabled=schedule.reorder,
-        merge=not schedule.pad_and_unroll,
-    )
+    with trace.span("reorder") as reorder_span:
+        groups = reorder_trees(
+            tiled_trees,
+            enabled=schedule.reorder,
+            merge=not schedule.pad_and_unroll,
+        )
 
-    registry = ShapeRegistry(schedule.tile_size)
-    for tiled in tiled_trees:
-        for tile in tiled.tiles:
-            if tile.shape is not None:
-                registry.register(tile.shape)
-    lut = registry.build_lut()
-    return HIRModule(
+    with trace.span("shape-registry"):
+        registry = ShapeRegistry(schedule.tile_size)
+        for tiled in tiled_trees:
+            for tile in tiled.tiles:
+                if tile.shape is not None:
+                    registry.register(tile.shape)
+        lut = registry.build_lut()
+    module = HIRModule(
         forest=forest,
         schedule=schedule,
         tiled_trees=tiled_trees,
@@ -110,3 +128,10 @@ def build_hir(forest: Forest, schedule: Schedule, validate: bool = True) -> HIRM
         shape_registry=registry,
         lut=lut,
     )
+    # Stats are collected after construction so each span reports on the
+    # *final* module state its transformation produced (padding mutates the
+    # tilings in place; the tiling span still excludes dummy tiles).
+    span.stats.update(tiling_stats(module))
+    pad_span.stats.update(padding_stats(module))
+    reorder_span.stats.update(reorder_stats(module))
+    return module

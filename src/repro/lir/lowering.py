@@ -18,40 +18,52 @@ from repro.lir.layout.array_layout import build_array_layout
 from repro.lir.layout.sparse_layout import build_sparse_layout
 from repro.hir.tiling.shapes import storage_width
 from repro.mir.ir import MIRModule
+from repro.observe.stats import lir_stats
+from repro.observe.trace import CompilationTrace
 
 
-def lower_mir_to_lir(mir: MIRModule, hir: HIRModule) -> LIRModule:
-    """Lower the loop nest to buffer-level IR per the schedule's layout."""
+def lower_mir_to_lir(
+    mir: MIRModule, hir: HIRModule, trace: CompilationTrace | None = None
+) -> LIRModule:
+    """Lower the loop nest to buffer-level IR per the schedule's layout.
+
+    ``trace`` gets a ``layout`` span (buffer materialization across groups)
+    and a ``lut`` span; the layout span carries the per-group buffer byte
+    sizes of the finished module.
+    """
+    trace = trace or CompilationTrace()
     schedule = mir.schedule
     forest = hir.forest
     class_of_tree = forest.class_ids()
     groups: list[LIRGroup] = []
     walks = {loop.group_id: loop.walk for loop in mir.tree_loops}
-    for group in hir.groups:
-        walk = walks.get(group.group_id)
-        if walk is None:
-            raise LoweringError(f"group {group.group_id} has no walk in MIR")
-        class_ids = class_of_tree[group.tree_indices]
-        if schedule.layout == "array":
-            layout = build_array_layout(
-                hir.tiled_trees, group.tree_indices, class_ids, hir.shape_registry
+    with trace.span("layout") as layout_span:
+        for group in hir.groups:
+            walk = walks.get(group.group_id)
+            if walk is None:
+                raise LoweringError(f"group {group.group_id} has no walk in MIR")
+            class_ids = class_of_tree[group.tree_indices]
+            if schedule.layout == "array":
+                layout = build_array_layout(
+                    hir.tiled_trees, group.tree_indices, class_ids, hir.shape_registry
+                )
+            else:
+                layout = build_sparse_layout(
+                    hir.tiled_trees, group.tree_indices, class_ids, hir.shape_registry
+                )
+            trivial = group.depth == 0
+            groups.append(
+                LIRGroup(
+                    group_id=group.group_id,
+                    layout=layout,
+                    walk=walk,
+                    class_ids=np.asarray(class_ids, dtype=np.int32),
+                    trivial=trivial,
+                )
             )
-        else:
-            layout = build_sparse_layout(
-                hir.tiled_trees, group.tree_indices, class_ids, hir.shape_registry
-            )
-        trivial = group.depth == 0
-        groups.append(
-            LIRGroup(
-                group_id=group.group_id,
-                layout=layout,
-                walk=walk,
-                class_ids=np.asarray(class_ids, dtype=np.int32),
-                trivial=trivial,
-            )
-        )
-    lut = hir.shape_registry.build_lut(width=storage_width(schedule.tile_size))
-    return LIRModule(
+    with trace.span("lut"):
+        lut = hir.shape_registry.build_lut(width=storage_width(schedule.tile_size))
+    module = LIRModule(
         schedule=schedule,
         mir=mir,
         groups=groups,
@@ -62,3 +74,5 @@ def lower_mir_to_lir(mir: MIRModule, hir: HIRModule) -> LIRModule:
         base_score=forest.base_score,
         pass_log=list(mir.pass_log) + ["lower_mir_to_lir"],
     )
+    layout_span.stats.update(lir_stats(module))
+    return module

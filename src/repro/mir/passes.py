@@ -10,6 +10,8 @@ from __future__ import annotations
 from repro.errors import LoweringError
 from repro.hir.ir import HIRModule
 from repro.mir.ir import MIRModule
+from repro.observe.stats import mir_stats
+from repro.observe.trace import CompilationTrace
 
 
 def interleave_pass(mir: MIRModule, hir: HIRModule) -> MIRModule:
@@ -94,11 +96,28 @@ def verify_mir(mir: MIRModule, hir: HIRModule) -> None:
         raise LoweringError("some groups have no tree loop")
 
 
-def run_mir_pipeline(mir: MIRModule, hir: HIRModule) -> MIRModule:
-    """Apply the schedule-driven pass ordering with verification."""
+def run_mir_pipeline(
+    mir: MIRModule, hir: HIRModule, trace: CompilationTrace | None = None
+) -> MIRModule:
+    """Apply the schedule-driven pass ordering with verification.
+
+    Each pass runs inside its own trace span; the final span carries the
+    post-pipeline loop-nest statistics (walk styles, widths, peel depths).
+    """
+    trace = trace or CompilationTrace()
     if hir.schedule.interleave > 1:
-        interleave_pass(mir, hir)
-    peel_and_unroll_pass(mir, hir)
-    parallelize_pass(mir, hir)
-    verify_mir(mir, hir)
+        with trace.span("interleave") as span:
+            interleave_pass(mir, hir)
+            span.stats["widths"] = [loop.walk.width for loop in mir.tree_loops]
+    with trace.span("peel-and-unroll") as span:
+        peel_and_unroll_pass(mir, hir)
+        span.stats["styles"] = {
+            loop.group_id: loop.walk.style for loop in mir.tree_loops
+        }
+    with trace.span("parallelize") as span:
+        parallelize_pass(mir, hir)
+        span.stats["threads"] = mir.row_loop.num_threads
+    with trace.span("verify-mir") as span:
+        verify_mir(mir, hir)
+        span.stats.update(mir_stats(mir))
     return mir

@@ -1,0 +1,83 @@
+"""Unified observability: pipeline tracing, IR statistics, kernel profiling.
+
+The paper's central claim is that *compiler decisions* explain the
+speedups; this package makes those decisions observable at every level:
+
+* :class:`~repro.observe.trace.CompilationTrace` — nested timed spans over
+  the whole lowering pipeline (HIR tiling/padding/reorder, MIR passes, LIR
+  lowering, codegen, JIT), attached to every compiled predictor.
+* :mod:`~repro.observe.stats` — structured per-pass IR statistics
+  (tile-shape histograms, padding overhead, loop structure, buffer sizes)
+  emitted into the matching trace spans.
+* :class:`~repro.observe.profile.ProfileRecorder` — kernel profiling
+  counters (walk steps, LUT lookups, masked lanes, scratch bytes) that
+  ``Schedule(profile=True)`` compiles *into* the generated source; with
+  profiling off the instrumentation does not exist in the kernel at all.
+* :data:`~repro.observe.registry.registry` — the process-wide registry
+  aggregating traces, profiles, serving metrics and kernel-pool gauges
+  behind one ``snapshot()`` / ``export_json()``; dump it with
+  ``python -m repro.observe``.
+* :func:`explain` — the per-schedule decision report.
+
+Quickstart::
+
+    from repro import compile_model, Schedule
+    from repro.observe import explain, registry
+
+    predictor = compile_model(forest, Schedule(tile_size=8, profile=True))
+    print(predictor.trace.report())          # per-pass wall time + stats
+    predictor.predict(rows)
+    print(predictor.profile_counters())      # walk steps actually executed
+    print(explain(forest, predictor=predictor))
+    print(registry.export_json(indent=2))    # everything, as one document
+"""
+
+from repro.observe.profile import (
+    COUNTER_FIELDS,
+    ProfileCounters,
+    ProfileRecorder,
+    aggregate_all,
+)
+from repro.observe.registry import SNAPSHOT_KEYS, Registry, registry
+from repro.observe.stats import hir_stats, lir_stats, mir_stats
+from repro.observe.trace import CompilationTrace, Span, jsonable
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "CompilationTrace",
+    "ProfileCounters",
+    "ProfileRecorder",
+    "Registry",
+    "SNAPSHOT_KEYS",
+    "Span",
+    "aggregate_all",
+    "explain",
+    "export_json",
+    "hir_stats",
+    "jsonable",
+    "lir_stats",
+    "mir_stats",
+    "registry",
+    "snapshot",
+]
+
+
+def explain(forest, schedule=None, predictor=None) -> str:
+    """Per-schedule decision report (see :mod:`repro.observe.explain`).
+
+    Imported lazily: the report compiles through :func:`repro.api`, which
+    itself imports this package for tracing.
+    """
+    from repro.observe.explain import explain as _explain
+
+    return _explain(forest, schedule, predictor=predictor)
+
+
+def snapshot() -> dict:
+    """Shorthand for ``registry.snapshot()``."""
+    return registry.snapshot()
+
+
+def export_json(indent: int | None = None) -> str:
+    """Shorthand for ``registry.export_json()``."""
+    return registry.export_json(indent=indent)

@@ -1,0 +1,68 @@
+"""``python -m repro.observe`` — dump the observability registry.
+
+Trains a small synthetic model, compiles and serves it (so the snapshot
+contains pipeline spans, IR statistics, serving counters and pool gauges),
+then prints ``registry.export_json()``. Useful as a smoke test, a schema
+reference for dashboards, and the CI artifact generator.
+
+Options::
+
+    --rows N        rows per request (default 256)
+    --requests N    predict requests to issue (default 4)
+    --profile       compile with Schedule(profile=True) kernel counters
+    --parallel N    schedule parallel degree (exercises the kernel pool)
+    --output FILE   also write the JSON document to FILE
+    --explain       print the schedule decision report to stderr first
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe",
+        description="Compile + serve a demo model and dump the observability registry as JSON.",
+    )
+    parser.add_argument("--rows", type=int, default=256)
+    parser.add_argument("--requests", type=int, default=4)
+    parser.add_argument("--profile", action="store_true")
+    parser.add_argument("--parallel", type=int, default=1)
+    parser.add_argument("--output", type=str, default=None)
+    parser.add_argument("--explain", action="store_true")
+    parser.add_argument("--indent", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    from repro.config import Schedule
+    from repro.observe import explain, registry
+    from repro.serve import ModelServer
+    from repro.training.gbdt import GBDTParams, train_gbdt
+
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(512, 12))
+    y = 2.0 * X[:, 0] + np.sin(3.0 * X[:, 1]) + (X[:, 2] > 0) * X[:, 3]
+    forest = train_gbdt(X, y, GBDTParams(num_rounds=10, max_depth=5, seed=1))
+    schedule = Schedule(profile=args.profile, parallel=max(1, args.parallel))
+
+    with ModelServer() as server:
+        session = server.register("demo", forest, schedule)
+        rows = rng.normal(size=(max(1, args.rows), forest.num_features))
+        for _ in range(max(1, args.requests)):
+            server.predict("demo", rows)
+        if args.explain:
+            print(explain(forest, schedule, predictor=session.predictor), file=sys.stderr)
+        document = registry.export_json(indent=args.indent)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(document + "\n")
+            print(f"wrote {args.output} ({len(document)} bytes)", file=sys.stderr)
+        print(document)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    raise SystemExit(main())

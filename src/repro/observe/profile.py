@@ -1,0 +1,153 @@
+"""Kernel profiling counters (``Schedule(profile=True)``).
+
+When a schedule enables profiling, codegen emits counter increments into
+the generated kernel source: each kernel invocation binds ``_C = _P.local()``
+— its calling thread's :class:`ProfileCounters` — and bumps plain integer
+fields as the walk executes. ``_P`` is the :class:`ProfileRecorder` living
+in the kernel's JIT namespace, owned by the predictor.
+
+Per-thread structs mean the hot path takes no locks: the shared kernel pool
+runs row blocks on several threads, each incrementing its own counters, and
+:meth:`ProfileRecorder.aggregate` merges them under a lock only when read.
+
+With ``profile=False`` (the default) none of this exists in the generated
+source — the instrumentation is compiled *out*, not branched over — so the
+production hot path is untouched.
+
+Counter semantics (all element counts are (row, tree) lane elements):
+
+``kernel_calls``       ``predict_block`` invocations
+``rows``               rows seen across invocations
+``walk_steps``         tile-advance steps executed (one per active lane
+                       element per step) — the paper's walk-length metric
+``lut_lookups``        child-index LUT lookups (== tile evaluations)
+``peeled_steps``       check-free prologue steps (per chunk, per depth)
+``unrolled_steps``     unrolled straight-line steps (per chunk, per depth)
+``loop_iterations``    guarded-loop iterations (per chunk)
+``rows_masked``        lane elements that idled under the mask in
+                       non-compacted guarded loops
+``scratch_bytes``      bytes of scratch-arena views bound by the kernel
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import weakref
+
+COUNTER_FIELDS = (
+    "kernel_calls",
+    "rows",
+    "walk_steps",
+    "lut_lookups",
+    "peeled_steps",
+    "unrolled_steps",
+    "loop_iterations",
+    "rows_masked",
+    "scratch_bytes",
+)
+
+_recorder_ids = itertools.count(1)
+
+#: every live recorder, for the registry's global profile snapshot
+_RECORDERS: "weakref.WeakSet[ProfileRecorder]" = weakref.WeakSet()
+_RECORDERS_LOCK = threading.Lock()
+
+
+class ProfileCounters:
+    """One thread's counter struct; plain int fields, no locking."""
+
+    __slots__ = COUNTER_FIELDS
+
+    def __init__(self) -> None:
+        for name in COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: int(getattr(self, name)) for name in COUNTER_FIELDS}
+
+    def clear(self) -> None:
+        for name in COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"ProfileCounters({body})"
+
+
+class ProfileRecorder:
+    """Per-predictor registry of per-thread :class:`ProfileCounters`.
+
+    The generated kernel calls :meth:`local` once per invocation; the
+    predictor (and the observability registry) read :meth:`aggregate`.
+    Thread structs are kept strongly in ``_threads`` — the set is bounded
+    by the kernel pool size, and keeping them preserves counts from pool
+    threads that have since exited.
+    """
+
+    def __init__(self, label: str = "") -> None:
+        # Labels are always suffixed with a process-unique id so two
+        # predictors of the same model never collide in the registry.
+        self.label = f"{label or 'profile'}#{next(_recorder_ids)}"
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._threads: list[ProfileCounters] = []
+        with _RECORDERS_LOCK:
+            _RECORDERS.add(self)
+
+    def local(self) -> ProfileCounters:
+        """The calling thread's counter struct (created on first use)."""
+        counters = getattr(self._tls, "counters", None)
+        if counters is None:
+            counters = ProfileCounters()
+            self._tls.counters = counters
+            with self._lock:
+                self._threads.append(counters)
+        return counters
+
+    def aggregate(self) -> dict[str, int]:
+        """Sum of every thread's counters (taken under the lock)."""
+        total = {name: 0 for name in COUNTER_FIELDS}
+        with self._lock:
+            threads = list(self._threads)
+        for counters in threads:
+            for name in COUNTER_FIELDS:
+                total[name] += int(getattr(counters, name))
+        return total
+
+    def reset(self) -> None:
+        """Zero every thread's counters (for before/after measurements)."""
+        with self._lock:
+            threads = list(self._threads)
+        for counters in threads:
+            counters.clear()
+
+    @property
+    def num_threads(self) -> int:
+        with self._lock:
+            return len(self._threads)
+
+    def __repr__(self) -> str:
+        agg = self.aggregate()
+        return (
+            f"ProfileRecorder({self.label!r}, threads={self.num_threads}, "
+            f"walk_steps={agg['walk_steps']})"
+        )
+
+
+def aggregate_all() -> dict:
+    """Registry snapshot of every live profiled predictor.
+
+    Returns ``{"recorders": {label: counters}, "totals": counters}`` —
+    empty when no predictor was compiled with ``profile=True``.
+    """
+    with _RECORDERS_LOCK:
+        recorders = list(_RECORDERS)
+    per_recorder: dict[str, dict[str, int]] = {}
+    totals = {name: 0 for name in COUNTER_FIELDS}
+    for recorder in sorted(recorders, key=lambda r: r.label):
+        agg = recorder.aggregate()
+        per_recorder[recorder.label] = agg
+        for name in COUNTER_FIELDS:
+            totals[name] += agg[name]
+    return {"recorders": per_recorder, "totals": totals}

@@ -1,0 +1,180 @@
+"""Compilation tracing: nested timed spans over the lowering pipeline.
+
+A :class:`CompilationTrace` records one tree of :class:`Span` objects per
+compiled model — one span per pipeline stage (HIR tiling/padding/reorder,
+each MIR pass, LIR lowering, codegen, JIT compile) with wall-clock duration
+and a free-form ``stats`` dict the pass fills with structured IR statistics
+(tile-shape histograms, padding overhead, buffer sizes, ...). The trace is
+attached to the resulting :class:`~repro.backend.predictor.Predictor` and
+recorded into :data:`repro.observe.registry` so the whole deployment's
+recent compilations are visible from one snapshot.
+
+Spans nest via the context-manager protocol::
+
+    trace = CompilationTrace(label="my-model")
+    with trace.span("hir") as hir_span:
+        with trace.span("tiling") as s:
+            ...
+            s.stats["tiles_total"] = 123
+
+Tracing is cheap (two ``perf_counter`` calls and a few dict writes per
+span) relative to any real pipeline stage, so it is always on; there is no
+"disabled" mode to keep the instrumentation honest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce ``value`` into plain JSON-serializable Python containers.
+
+    NumPy scalars/arrays, tuples, sets and non-string dict keys all appear
+    in IR statistics; the exporters funnel everything through here so
+    ``json.dumps`` never sees a foreign type.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item") and not hasattr(value, "ndim"):
+        return value.item()
+    if hasattr(value, "ndim"):  # numpy array (or scalar with ndim)
+        if getattr(value, "ndim") == 0:
+            return value.item()
+        return [jsonable(v) for v in value.tolist()]
+    return str(value)
+
+
+class Span:
+    """One timed pipeline stage with structured statistics and children."""
+
+    __slots__ = ("name", "started_s", "duration_s", "stats", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.started_s = time.perf_counter()
+        self.duration_s: float = 0.0
+        self.stats: dict[str, Any] = {}
+        self.children: list["Span"] = []
+
+    def close(self) -> None:
+        self.duration_s = time.perf_counter() - self.started_s
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant span (depth-first) named ``name``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration_s * 1e3, 6),
+            "stats": jsonable(self.stats),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, children={len(self.children)})"
+
+
+class CompilationTrace:
+    """The span tree of one ``compile_model`` run.
+
+    The root span covers the whole pipeline; :meth:`span` opens a child of
+    whichever span is currently open (a plain stack — compilation is
+    single-threaded per model).
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.root = Span("compile")
+        self._stack: list[Span] = [self.root]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a nested timed span; closes (and times) it on exit."""
+        span = Span(name)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.close()
+            self._stack.pop()
+
+    def finish(self) -> "CompilationTrace":
+        """Close the root span (idempotent); total time is then final."""
+        if not self._closed:
+            self.root.close()
+            self._closed = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return self.root.duration_s
+
+    def find(self, name: str) -> Span | None:
+        """Lookup a span by name anywhere in the tree (root included)."""
+        if self.root.name == name:
+            return self.root
+        return self.root.find(name)
+
+    def to_dict(self) -> dict:
+        return {"label": self.label, **self.root.to_dict()}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def report(self) -> str:
+        """Human-readable indented rendering with per-pass timings."""
+        lines: list[str] = []
+        if self.label:
+            lines.append(f"compilation trace: {self.label}")
+
+        def render(span: Span, depth: int) -> None:
+            pad = "  " * depth
+            lines.append(f"{pad}{span.name:<24s} {span.duration_s * 1e3:9.3f} ms")
+            for key, value in span.stats.items():
+                lines.append(f"{pad}  . {key} = {_fmt_stat(value)}")
+            for child in span.children:
+                render(child, depth + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompilationTrace(label={self.label!r}, "
+            f"total={self.total_seconds * 1e3:.3f}ms, "
+            f"spans={sum(1 for _ in _walk(self.root))})"
+        )
+
+
+def _walk(span: Span) -> Iterator[Span]:
+    yield span
+    for child in span.children:
+        yield from _walk(child)
+
+
+def _fmt_stat(value: Any) -> str:
+    text = repr(jsonable(value))
+    return text if len(text) <= 100 else text[:97] + "..."

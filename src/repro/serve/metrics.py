@@ -28,6 +28,11 @@ class LatencyWindow:
         self.capacity = capacity
         self._ring: list[float] = []
         self._next = 0
+        # Sorted view of the ring, rebuilt at most once per batch of
+        # percentile queries: a snapshot asks for four percentiles, and
+        # re-sorting the full window for each was the dominant cost of
+        # reading metrics on a busy server.
+        self._sorted: list[float] | None = None
 
     def record(self, seconds: float) -> None:
         if len(self._ring) < self.capacity:
@@ -35,17 +40,34 @@ class LatencyWindow:
         else:
             self._ring[self._next] = seconds
             self._next = (self._next + 1) % self.capacity
+        self._sorted = None
 
     def __len__(self) -> int:
         return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._next = 0
+        self._sorted = None
+
+    def _ordered(self) -> list[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._ring)
+        return self._sorted
 
     def percentile(self, p: float) -> float | None:
         """Nearest-rank percentile (``p`` in [0, 100]); None when empty."""
         if not self._ring:
             return None
-        ordered = sorted(self._ring)
+        ordered = self._ordered()
         rank = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
+
+    def max(self) -> float | None:
+        """Largest latency currently inside the window; None when empty."""
+        if not self._ring:
+            return None
+        return self._ordered()[-1]
 
 
 class ServingMetrics:
@@ -66,7 +88,13 @@ class ServingMetrics:
     ``batches``             micro-batches executed
     ``batch_rows_hist``     {rows per executed batch: count}
     ``batch_requests_hist`` {requests coalesced per batch: count}
-    ``latency``             {count, p50, p90, p99, max} in seconds
+    ``latency``             {count, p50, p90, p99, window_max, all_time_max,
+                            max} in seconds. Percentiles and ``window_max``
+                            cover the bounded sliding window only;
+                            ``all_time_max`` (and its legacy alias ``max``)
+                            covers every request since construction/reset —
+                            the two diverge once the window rotates past a
+                            spike.
     ``runtime``             registered gauges, read at snapshot time (the
                             server wires in kernel-pool counters and the
                             scratch-arena / model-buffer footprints of
@@ -157,13 +185,43 @@ class ServingMetrics:
     # ------------------------------------------------------------------
     def latency_percentiles(self) -> dict[str, float | None]:
         with self._lock:
-            return {
-                "count": len(self._latency),
-                "p50": self._latency.percentile(50),
-                "p90": self._latency.percentile(90),
-                "p99": self._latency.percentile(99),
-                "max": self._max_latency if len(self._latency) else None,
-            }
+            return self._latency_dict()
+
+    def _latency_dict(self) -> dict[str, float | None]:
+        # Caller holds self._lock. ``max`` is kept as an alias of
+        # ``all_time_max`` for pre-existing dashboards; it is NOT the
+        # window max — after the ring rotates past a spike the two differ.
+        any_seen = self.requests > 0 or len(self._latency) > 0
+        return {
+            "count": len(self._latency),
+            "p50": self._latency.percentile(50),
+            "p90": self._latency.percentile(90),
+            "p99": self._latency.percentile(99),
+            "window_max": self._latency.max(),
+            "all_time_max": self._max_latency if any_seen else None,
+            "max": self._max_latency if any_seen else None,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter, histogram and latency record (gauges stay).
+
+        For before/after measurements on a long-lived server: registered
+        gauges read live state elsewhere and are left wired up.
+        """
+        with self._lock:
+            self.compiles = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.cache_evictions = 0
+            self.fallbacks = 0
+            self.requests = 0
+            self.rows = 0
+            self.errors = 0
+            self.batches = 0
+            self.batch_rows_hist.clear()
+            self.batch_requests_hist.clear()
+            self._latency.clear()
+            self._max_latency = 0.0
 
     def snapshot(self) -> dict:
         """Atomic copy of every counter and histogram (plus gauge reads)."""
@@ -181,13 +239,7 @@ class ServingMetrics:
                 "batches": self.batches,
                 "batch_rows_hist": dict(self.batch_rows_hist),
                 "batch_requests_hist": dict(self.batch_requests_hist),
-                "latency": {
-                    "count": len(self._latency),
-                    "p50": self._latency.percentile(50),
-                    "p90": self._latency.percentile(90),
-                    "p99": self._latency.percentile(99),
-                    "max": self._max_latency if len(self._latency) else None,
-                },
+                "latency": self._latency_dict(),
                 "runtime": runtime,
             }
 

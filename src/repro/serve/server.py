@@ -10,6 +10,7 @@ many concurrent clients hammer.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass, field
 
@@ -19,10 +20,13 @@ from repro.backend.parallel import pool_stats
 from repro.config import Schedule
 from repro.errors import ServingError
 from repro.forest.ensemble import Forest
+from repro.observe import registry as observe_registry
 from repro.serve.batching import BatchingPolicy
 from repro.serve.cache import DEFAULT_PREDICTOR_CACHE_CAP, PredictorCache
 from repro.serve.metrics import ServingMetrics
 from repro.serve.session import InferenceSession
+
+_server_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -69,6 +73,13 @@ class ModelServer:
         self.metrics.register_gauge("kernel_pool", pool_stats)
         self.metrics.register_gauge("scratch_bytes", self._scratch_bytes)
         self.metrics.register_gauge("model_bytes", self._model_bytes)
+        # Report into the process-wide observability registry under a
+        # unique name so several servers coexist in one snapshot;
+        # close() withdraws the registration.
+        self._registry_name = f"server-{next(_server_ids)}"
+        observe_registry.register_serving(
+            self._registry_name, self.metrics_snapshot
+        )
 
     def _scratch_bytes(self) -> int:
         return sum(
@@ -165,6 +176,7 @@ class ModelServer:
         return snap
 
     def close(self) -> None:
+        observe_registry.unregister(self._registry_name)
         with self._lock:
             sessions, self._sessions = list(self._sessions.values()), {}
             self._closed = True

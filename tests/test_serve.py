@@ -409,4 +409,115 @@ class TestMetricsPrimitives:
     def test_empty_snapshot(self):
         snap = ServingMetrics().snapshot()
         assert snap["latency"]["p50"] is None
+        assert snap["latency"]["window_max"] is None
+        assert snap["latency"]["all_time_max"] is None
         assert snap["requests"] == 0
+
+    def test_percentile_edges_after_wraparound(self):
+        from repro.serve.metrics import LatencyWindow
+
+        w = LatencyWindow(capacity=4)
+        for v in (9.0, 8.0, 1.0, 2.0, 3.0, 4.0):  # 9.0, 8.0 rotated out
+            w.record(v)
+        assert len(w) == 4
+        assert w.percentile(0) == 1.0
+        assert w.percentile(100) == 4.0
+        assert w.max() == 4.0
+        w.clear()
+        assert len(w) == 0 and w.percentile(50) is None and w.max() is None
+
+    def test_sorted_cache_matches_naive_sort(self):
+        from repro.serve.metrics import LatencyWindow
+
+        rng = np.random.default_rng(3)
+        w = LatencyWindow(capacity=16)
+        ring: list[float] = []
+        for i, v in enumerate(rng.uniform(size=200)):
+            w.record(float(v))
+            if len(ring) < 16:
+                ring.append(float(v))
+            else:
+                ring[(i - 16) % 16] = float(v)
+            if i % 7 == 0:  # interleave queries with records
+                ordered = sorted(ring)
+                for p in (0, 37, 50, 90, 100):
+                    rank = min(
+                        len(ordered) - 1,
+                        max(0, round(p / 100.0 * (len(ordered) - 1))),
+                    )
+                    assert w.percentile(p) == ordered[rank]
+                assert w.max() == ordered[-1]
+
+    def test_window_max_vs_all_time_max(self):
+        metrics = ServingMetrics(latency_window=2)
+        metrics.record_request(1, 5.0)  # the spike
+        metrics.record_request(1, 0.1)
+        metrics.record_request(1, 0.2)  # spike rotated out of the window
+        lat = metrics.snapshot()["latency"]
+        assert lat["window_max"] == 0.2
+        assert lat["all_time_max"] == 5.0
+        assert lat["max"] == 5.0  # legacy alias stays all-time
+
+    def test_reset_zeroes_counters_keeps_gauges(self):
+        metrics = ServingMetrics()
+        metrics.register_gauge("g", lambda: 7)
+        metrics.record_request(4, 0.5)
+        metrics.record_batch(4, 2)
+        metrics.record_cache(hit=True)
+        metrics.record_error()
+        metrics.reset()
+        snap = metrics.snapshot()
+        assert snap["requests"] == 0 and snap["rows"] == 0
+        assert snap["errors"] == 0 and snap["batches"] == 0
+        assert snap["cache_hits"] == 0
+        assert snap["batch_rows_hist"] == {}
+        assert snap["latency"]["count"] == 0
+        assert snap["latency"]["all_time_max"] is None
+        assert snap["runtime"]["g"] == 7  # gauges survive the reset
+
+    def test_gauge_error_isolated(self):
+        metrics = ServingMetrics()
+        metrics.register_gauge("ok", lambda: 1)
+        metrics.register_gauge("boom", lambda: 1 // 0)
+        snap = metrics.snapshot()
+        assert snap["runtime"]["ok"] == 1
+        assert str(snap["runtime"]["boom"]).startswith("<gauge error:")
+
+    def test_concurrent_snapshot_vs_record(self):
+        metrics = ServingMetrics(latency_window=32)
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer():
+            i = 0
+            try:
+                while not stop.is_set():
+                    metrics.record_request(1, (i % 10) / 100.0)
+                    metrics.record_batch(1, 1)
+                    i += 1
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    snap = metrics.snapshot()
+                    lat = snap["latency"]
+                    if lat["count"]:
+                        assert lat["p50"] <= lat["window_max"]
+                        assert lat["window_max"] <= lat["all_time_max"]
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(3)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        snap = metrics.snapshot()
+        assert snap["requests"] == snap["rows"] == snap["batches"]
