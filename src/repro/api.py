@@ -65,14 +65,27 @@ def compile_model(
         predictor.trace = trace.finish()
         registry.record_trace(trace)
         return predictor
+    if schedule.verify:
+        # Imported lazily: repro.verify pulls in the fuzzer, which imports
+        # this module. Zero cost (and zero imports) when verify is off.
+        from repro.verify import verify_hir, verify_lir_module, verify_mir_module
     with trace.span("hir"):
         hir = build_hir(forest, schedule, validate=validate_tiling, trace=trace)
+    if schedule.verify:
+        with trace.span("verify-hir") as span:
+            span.stats.update(verify_hir(hir))
     with trace.span("mir-lower"):
         mir = lower_hir_to_mir(hir)
     with trace.span("mir-passes"):
         run_mir_pipeline(mir, hir, trace=trace)
+    if schedule.verify:
+        with trace.span("verify-mir-module") as span:
+            span.stats.update(verify_mir_module(mir, hir))
     with trace.span("lir-lower"):
         lir = lower_mir_to_lir(mir, hir, trace=trace)
+    if schedule.verify:
+        with trace.span("verify-lir") as span:
+            span.stats.update(verify_lir_module(lir))
     with trace.span("backend"):
         predictor = Predictor(
             forest, lir, validate_inputs=validate_inputs, trace=trace

@@ -2,9 +2,15 @@
 
 Executes the exact buffers the codegen backend uses, but one row and one
 tree at a time in plain Python. Predictions must match the compiled kernel
-bit for bit (same buffers, same traversal, same accumulation grouping), so
-the pair {interpreter, codegen} cross-checks both the layouts and the
-generated code. Deliberately unoptimized.
+bit for bit (same buffers, same traversal, same accumulation grouping up to
+reassociation), so the pair {interpreter, codegen} cross-checks both the
+layouts and the generated code. Deliberately unoptimized.
+
+Precision: the interpreter honours ``lir.schedule.precision`` the same way
+the backend does — under ``"float32"`` rows, thresholds and leaf values are
+rounded to float32 before comparing/accumulating, so a feature that lands
+exactly on a threshold routes identically in both executors. The
+accumulator stays float64, as in the kernel.
 """
 
 from __future__ import annotations
@@ -15,7 +21,9 @@ from repro.errors import ExecutionError
 from repro.lir.ir import LIRGroup, LIRModule
 
 
-def _tile_bits(thresholds: np.ndarray, features: np.ndarray, row: np.ndarray) -> int:
+def _tile_bits(
+    thresholds: np.ndarray, features: np.ndarray, row: np.ndarray
+) -> int:
     """Predicate bits for one tile: bit i = (row[feature_i] < threshold_i)."""
     bits = 0
     for pos in range(thresholds.shape[0]):
@@ -24,32 +32,40 @@ def _tile_bits(thresholds: np.ndarray, features: np.ndarray, row: np.ndarray) ->
     return bits
 
 
-def _walk_sparse(group: LIRGroup, lut: np.ndarray, lane: int, row: np.ndarray) -> float:
+def _walk_sparse(
+    group: LIRGroup, lut: np.ndarray, lane: int, row: np.ndarray, fdt: np.dtype
+) -> float:
     layout = group.layout
     if layout.root_leaf[lane]:
-        return float(layout.leaves[lane, 0])
+        return float(layout.leaves[lane, 0].astype(fdt))
     tile = 0
     for _ in range(10_000):
-        bits = _tile_bits(layout.thresholds[lane, tile], layout.features[lane, tile], row)
+        bits = _tile_bits(
+            layout.thresholds[lane, tile].astype(fdt), layout.features[lane, tile], row
+        )
         child = int(lut[layout.shape_ids[lane, tile], bits])
         base = int(layout.child_base[lane, tile])
         if base < 0:
-            return float(layout.leaves[lane, -base - 1 + child])
+            return float(layout.leaves[lane, -base - 1 + child].astype(fdt))
         tile = base + child
     raise ExecutionError("sparse walk did not terminate (corrupt layout)")
 
 
-def _walk_array(group: LIRGroup, lut: np.ndarray, lane: int, row: np.ndarray) -> float:
+def _walk_array(
+    group: LIRGroup, lut: np.ndarray, lane: int, row: np.ndarray, fdt: np.dtype
+) -> float:
     layout = group.layout
     arity = layout.tile_size + 1
     slot = 0
     for _ in range(10_000):
         sid = int(layout.shape_ids[lane, slot])
         if sid == -1:
-            return float(layout.leaf_values[lane, slot])
+            return float(layout.leaf_values[lane, slot].astype(fdt))
         if sid < -1:
             raise ExecutionError(f"walk reached empty slot {slot}")
-        bits = _tile_bits(layout.thresholds[lane, slot], layout.features[lane, slot], row)
+        bits = _tile_bits(
+            layout.thresholds[lane, slot].astype(fdt), layout.features[lane, slot], row
+        )
         child = int(lut[sid, bits])
         slot = slot * arity + child + 1
     raise ExecutionError("array walk did not terminate (corrupt layout)")
@@ -60,7 +76,10 @@ def interpret_lir(lir: LIRModule, rows: np.ndarray) -> np.ndarray:
 
     Returns the raw margin array shaped ``(B, num_classes)``.
     """
-    rows = np.asarray(rows, dtype=np.float64)
+    fdt = np.dtype(
+        np.float32 if lir.schedule.precision == "float32" else np.float64
+    )
+    rows = np.ascontiguousarray(rows, dtype=fdt)
     out = np.full((rows.shape[0], lir.num_classes), lir.base_score, dtype=np.float64)
     walk = {"sparse": _walk_sparse, "array": _walk_array}
     for group in lir.groups:
@@ -70,10 +89,10 @@ def interpret_lir(lir: LIRModule, rows: np.ndarray) -> np.ndarray:
             for lane in range(layout.num_trees):
                 if group.trivial:
                     if layout.kind == "sparse":
-                        value = float(layout.leaves[lane, 0])
+                        value = float(layout.leaves[lane, 0].astype(fdt))
                     else:
-                        value = float(layout.leaf_values[lane, 0])
+                        value = float(layout.leaf_values[lane, 0].astype(fdt))
                 else:
-                    value = step(group, lir.lut, lane, row)
+                    value = step(group, lir.lut, lane, row, fdt)
                 out[i, int(group.class_ids[lane])] += value
     return out

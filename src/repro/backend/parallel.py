@@ -35,6 +35,8 @@ _POOL_WORKERS = 0
 _POOLS_CREATED = 0
 _TASKS_SUBMITTED = 0
 _TASKS_COMPLETED = 0
+_TASKS_FAILED = 0
+_TASKS_CANCELLED = 0
 
 
 def _default_pool_size() -> int:
@@ -79,6 +81,8 @@ def pool_stats() -> dict:
             "pools_created": _POOLS_CREATED,
             "tasks_submitted": _TASKS_SUBMITTED,
             "tasks_completed": _TASKS_COMPLETED,
+            "tasks_failed": _TASKS_FAILED,
+            "tasks_cancelled": _TASKS_CANCELLED,
         }
 
 
@@ -101,8 +105,14 @@ def parallel_predict(
     out: np.ndarray,
     num_threads: int,
 ) -> np.ndarray:
-    """Run ``kernel`` over row blocks on the shared pool; returns ``out``."""
-    global _TASKS_SUBMITTED, _TASKS_COMPLETED
+    """Run ``kernel`` over row blocks on the shared pool; returns ``out``.
+
+    On a block failure the first exception is re-raised, but only after
+    every sibling task has settled: still-queued blocks are cancelled and
+    in-flight ones are waited for, so no task is left writing into ``out``
+    after the caller has seen the exception.
+    """
+    global _TASKS_SUBMITTED, _TASKS_COMPLETED, _TASKS_FAILED, _TASKS_CANCELLED
     blocks = row_blocks(rows.shape[0], num_threads)
     if not blocks:
         return out
@@ -115,16 +125,37 @@ def parallel_predict(
     futures = [
         pool.submit(kernel, rows[lo:hi], out[lo:hi]) for lo, hi in blocks
     ]
-    done = 0
+    first_exc: BaseException | None = None
+    done = failed = cancelled = 0
     try:
-        for future in futures:
-            future.result()
-            done += 1
+        for i, future in enumerate(futures):
+            try:
+                future.result()
+                done += 1
+            except BaseException as exc:
+                first_exc = exc
+                failed += 1
+                for later in futures[i + 1 :]:
+                    later.cancel()
+                for later in futures[i + 1 :]:
+                    if later.cancelled():
+                        cancelled += 1
+                        continue
+                    try:
+                        later.result()
+                        done += 1
+                    except BaseException:
+                        failed += 1
+                break
     finally:
-        # submitted - completed > 0 in steady state flags tasks that died
-        # with an exception — the gauge dashboards watch for the gap.
+        # submitted == completed + failed + cancelled in steady state; a
+        # growing failed count is what the gauge dashboards watch for.
         with _POOL_LOCK:
             _TASKS_COMPLETED += done
+            _TASKS_FAILED += failed
+            _TASKS_CANCELLED += cancelled
+    if first_exc is not None:
+        raise first_exc
     return out
 
 

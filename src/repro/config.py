@@ -113,6 +113,19 @@ class Schedule:
     #: branched over), so the production hot path is untouched. Profiling
     #: never changes predictions — only counts what the kernel did.
     profile: bool = False
+    #: run the cross-level structural verifiers of :mod:`repro.verify`
+    #: after each lowering stage: HIR (tiling validity, padding coverage,
+    #: reorder permutation, probability mass), MIR (loop nest covers every
+    #: (tree, row) pair exactly once, chunking exhaustive, peel/unroll
+    #: legality), LIR (buffer/LUT shape consistency, reserved all-zeros
+    #: dummy LUT row, child indices in bounds, arena spec large enough).
+    #: Each verifier runs inside its own trace span and raises
+    #: :class:`~repro.errors.VerificationError` with a precise diagnostic
+    #: on the first violated invariant. Off by default: with ``False`` no
+    #: verifier code runs at all and the emitted kernel is byte-identical
+    #: to an unverified build — verification never changes what is
+    #: compiled, only whether the compiler double-checks itself.
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if not (1 <= self.tile_size <= 16):

@@ -44,6 +44,17 @@ class ScheduleError(CompilerError):
     """A compiler schedule (optimization configuration) is inconsistent."""
 
 
+class VerificationError(CompilerError):
+    """A lowered module violates a cross-level IR invariant.
+
+    Raised by the :mod:`repro.verify` structural verifiers (HIR/MIR/LIR)
+    when a lowering produced an inconsistent module — a broken tiling, a
+    loop nest that misses trees, an out-of-bounds child pointer, a
+    corrupted LUT. The message always names the level, the object (group/
+    lane/tile) and the violated invariant.
+    """
+
+
 class ExecutionError(ReproError):
     """A compiled predictor failed at inference time."""
 

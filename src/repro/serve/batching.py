@@ -106,10 +106,10 @@ class MicroBatcher:
             raise ServingError("micro-batcher is closed")
         future: Future = Future()
         rows = np.asarray(rows)
-        if rows.ndim == 2 and rows.shape[0] == 0:
-            # Nothing to coalesce: resolve immediately with an empty result.
-            future.set_result(self.run_batch(rows))
-            return future
+        # Empty batches go through the queue like everything else:
+        # ``run_batch`` is contractually worker-thread-only (it may touch
+        # thread-local scratch arenas and unlocked state), so resolving
+        # inline on the caller thread would violate that contract.
         try:
             self._queue.put(_Request(rows, future), timeout=self.policy.submit_timeout_s)
         except queue.Full:

@@ -109,10 +109,13 @@ class PredictorCache:
                 self._entries.popitem(last=False)
                 evicted += 1
             self._inflight.pop(key, None)
+        # Wake followers the moment the map is consistent; metrics recording
+        # stays off the critical path so a slow (or throwing) metrics sink
+        # cannot extend how long followers block on the event.
+        flight.event.set()
         self.metrics.record_cache(hit=False)
         if evicted:
             self.metrics.record_eviction(evicted)
-        flight.event.set()
         return value, False
 
     # ------------------------------------------------------------------

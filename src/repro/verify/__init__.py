@@ -1,0 +1,50 @@
+"""Cross-level IR verification and differential fuzzing.
+
+Treebeard's correctness story is that every lowering — HIR tiling/padding/
+reordering, MIR loop-nest construction and rewrites, LIR buffer/LUT
+materialization — is semantics-preserving. This package checks those claims
+mechanically, at two altitudes:
+
+* **Structural verifiers** (:func:`verify_hir`, :func:`verify_mir_module`,
+  :func:`verify_lir_module`) re-derive each level's invariants from the
+  materialized module and raise
+  :class:`~repro.errors.VerificationError` with a precise diagnostic on
+  the first violation. ``compile_model`` runs them after each lowering
+  stage under ``Schedule(verify=True)`` (default off: zero cost and a
+  byte-identical kernel when disabled).
+* **Differential fuzzing** (:func:`run_fuzz`) generates random forests ×
+  the Table-II schedule grid × adversarial inputs (±inf, threshold-equal
+  features, denormals, empty/1-row/huge/non-contiguous batches, float32
+  boundary rows) and compares the compiled kernel against the reference
+  interpreter (and, at float64, the reference ``Forest``), with automatic
+  case minimization into a JSON repro.
+
+``python -m repro.verify`` drives both from the command line (CI runs it
+with ``--smoke``).
+"""
+
+from repro.verify.hir import verify_hir
+from repro.verify.lir import verify_lir_module
+from repro.verify.mir import verify_mir_module
+from repro.verify.fuzz import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    adversarial_batches,
+    minimize_case,
+    random_fuzz_forest,
+    run_fuzz,
+)
+
+__all__ = [
+    "verify_hir",
+    "verify_mir_module",
+    "verify_lir_module",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "adversarial_batches",
+    "minimize_case",
+    "random_fuzz_forest",
+    "run_fuzz",
+]

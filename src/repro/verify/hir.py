@@ -1,0 +1,253 @@
+"""Structural verification of HIR modules.
+
+The HIR invariants re-checked here (everything :func:`repro.hir.ir.build_hir`
+is supposed to guarantee):
+
+* every tiled tree is a well-formed tile tree: tile 0 is the unique root,
+  parent/child links are mutually consistent, depths increase by one along
+  edges, and every tile is reachable exactly once;
+* the *real* internal tiles form a valid tiling of the source tree
+  (partitioning, leaf separation, connectedness, maximality — the Section
+  III-B1 constraints, re-run through :func:`check_valid_tiling`), each
+  tile's canonical shape matches its nodes, and leaf tiles cover the
+  tree's leaves exactly once;
+* padding coverage: dummy tiles only appear under ``pad_and_unroll``
+  schedules, always form single-child chains, and a tree containing any
+  dummy tile is uniform-depth (that is the only reason to pad);
+* probability mass conservation: when training statistics are populated,
+  the leaf-tile visit probabilities sum to the root's mass (padding and
+  tiling must not create or destroy probability);
+* tree reordering is a permutation: the groups partition the forest's
+  tree indices, and every group's cached stats (depth, uniformity,
+  min leaf depth) match its members;
+* the traversal LUT rows agree with the registered shapes, and the
+  reserved dummy row (if present) is all zeros.
+
+All violations raise :class:`~repro.errors.VerificationError` naming the
+tree/tile/group concerned. Returns a stats dict for the trace span.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TilingError, VerificationError
+from repro.hir.ir import HIRModule
+from repro.hir.tiling.shapes import (
+    DUMMY_SHAPE,
+    left_chain_shape,
+    shape_child_for_bits,
+    shape_key_of_tile,
+)
+from repro.hir.tiling.tile import TiledTree
+from repro.hir.tiling.validity import check_valid_tiling
+
+#: relative slack allowed when checking probability mass conservation
+_PROB_RTOL = 1e-6
+
+
+def _fail(message: str) -> None:
+    raise VerificationError(f"HIR: {message}")
+
+
+def _verify_tile_tree(
+    tree_index: int, tiled: TiledTree, hir: HIRModule, registered: set
+) -> None:
+    tiles = tiled.tiles
+    if not tiles:
+        _fail(f"tree {tree_index}: no tiles")
+    if tiles[0].parent != -1:
+        _fail(f"tree {tree_index}: tile 0 is not the root (parent={tiles[0].parent})")
+    roots = [t.tile_id for t in tiles if t.parent == -1]
+    if roots != [0]:
+        _fail(f"tree {tree_index}: expected exactly one root tile, got {roots}")
+
+    # Reachability + local link/depth/arity consistency.
+    seen: set[int] = set()
+    stack = [0]
+    while stack:
+        tid = stack.pop()
+        if tid in seen:
+            _fail(f"tree {tree_index}: tile {tid} reachable twice (cycle or DAG)")
+        seen.add(tid)
+        tile = tiles[tid]
+        if tile.tile_id != tid:
+            _fail(f"tree {tree_index}: tile at index {tid} has tile_id {tile.tile_id}")
+        if tile.is_leaf:
+            expected_children = 0
+        elif tile.is_dummy:
+            expected_children = 1
+            if tile.nodes:
+                _fail(f"tree {tree_index}: dummy tile {tid} carries original nodes")
+            if tile.shape != left_chain_shape(tiled.tile_size):
+                _fail(
+                    f"tree {tree_index}: dummy tile {tid} has shape {tile.shape!r}, "
+                    "expected the all-left chain"
+                )
+        else:
+            expected_children = tile.num_nodes + 1
+            if tile.num_nodes < 1 or tile.num_nodes > tiled.tile_size:
+                _fail(
+                    f"tree {tree_index}: tile {tid} has {tile.num_nodes} nodes, "
+                    f"outside [1, {tiled.tile_size}]"
+                )
+        if len(tile.children) != expected_children:
+            _fail(
+                f"tree {tree_index}: tile {tid} has {len(tile.children)} children, "
+                f"expected {expected_children}"
+            )
+        for child_id in tile.children:
+            if not (0 <= child_id < len(tiles)):
+                _fail(f"tree {tree_index}: tile {tid} child id {child_id} out of range")
+            child = tiles[child_id]
+            if child.parent != tid:
+                _fail(
+                    f"tree {tree_index}: tile {child_id} parent is {child.parent}, "
+                    f"but tile {tid} lists it as a child"
+                )
+            if child.depth != tile.depth + 1:
+                _fail(
+                    f"tree {tree_index}: tile {child_id} depth {child.depth} != "
+                    f"parent depth {tile.depth} + 1"
+                )
+            stack.append(child_id)
+    if len(seen) != len(tiles):
+        orphans = sorted(set(range(len(tiles))) - seen)[:5]
+        _fail(f"tree {tree_index}: tiles {orphans} unreachable from the root")
+
+    # The real internal tiles must still be a valid tiling of the source
+    # tree (Section III-B1), and each tile's canonical shape must match.
+    internal_tiles = [list(t.nodes) for t in tiles if not t.is_leaf and not t.is_dummy]
+    try:
+        check_valid_tiling(tiled.tree, internal_tiles, tiled.tile_size)
+    except TilingError as exc:
+        _fail(f"tree {tree_index}: tiling invalid after HIR transforms: {exc}")
+    for tile in tiles:
+        if tile.is_leaf or tile.is_dummy:
+            continue
+        shape, ordered = shape_key_of_tile(tiled.tree, list(tile.nodes))
+        if shape != tile.shape or tuple(ordered) != tile.nodes:
+            _fail(
+                f"tree {tree_index}: tile {tile.tile_id} shape/order "
+                f"disagrees with its nodes (stored {tile.shape!r})"
+            )
+        if tile.shape not in registered:
+            _fail(f"tree {tree_index}: tile {tile.tile_id} shape not registered")
+
+    # Leaf tiles must cover the source tree's leaves exactly once.
+    leaf_nodes = sorted(int(t.nodes[0]) for t in tiles if t.is_leaf)
+    want_leaves = sorted(int(n) for n in tiled.tree.leaves())
+    if leaf_nodes != want_leaves:
+        _fail(
+            f"tree {tree_index}: leaf tiles cover nodes {leaf_nodes[:5]}..., "
+            f"expected the tree's leaves {want_leaves[:5]}..."
+        )
+
+    # Padding coverage: dummies only under pad_and_unroll, and a padded
+    # tree must be uniform depth (otherwise the padding missed leaves).
+    has_dummy = any(t.is_dummy for t in tiles)
+    if has_dummy:
+        if not hir.schedule.pad_and_unroll:
+            _fail(
+                f"tree {tree_index}: dummy tiles present but the schedule "
+                "does not pad"
+            )
+        if not tiled.is_uniform_depth:
+            _fail(
+                f"tree {tree_index}: padded (has dummy tiles) but leaf depths "
+                f"span [{tiled.min_leaf_depth}, {tiled.max_leaf_depth}]"
+            )
+
+    # Probability mass conservation (only when statistics are populated).
+    prob = tiled.tree.node_probability
+    if prob is not None and float(prob[0]) > 0:
+        leaf_mass = float(sum(t.probability for t in tiles if t.is_leaf))
+        root_mass = float(prob[0])
+        if abs(leaf_mass - root_mass) > _PROB_RTOL * max(1.0, abs(root_mass)):
+            _fail(
+                f"tree {tree_index}: probability mass not conserved — leaf tiles "
+                f"sum to {leaf_mass!r}, root mass is {root_mass!r}"
+            )
+
+
+def _verify_groups(hir: HIRModule) -> None:
+    covered: list[int] = []
+    for group in hir.groups:
+        if not group.tree_indices:
+            _fail(f"group {group.group_id} is empty")
+        covered.extend(group.tree_indices)
+        members = [hir.tiled_trees[i] for i in group.tree_indices]
+        depth = max(t.max_leaf_depth for t in members)
+        uniform = all(t.is_uniform_depth and t.max_leaf_depth == depth for t in members)
+        min_leaf = min(t.min_leaf_depth for t in members)
+        if group.depth != depth:
+            _fail(
+                f"group {group.group_id}: cached depth {group.depth} != member "
+                f"max leaf depth {depth}"
+            )
+        if group.uniform != uniform:
+            _fail(
+                f"group {group.group_id}: cached uniform={group.uniform} "
+                f"disagrees with members (uniform={uniform})"
+            )
+        if group.min_leaf_depth != min_leaf:
+            _fail(
+                f"group {group.group_id}: cached min_leaf_depth "
+                f"{group.min_leaf_depth} != member minimum {min_leaf}"
+            )
+    if sorted(covered) != list(range(hir.num_trees)):
+        _fail(
+            "tree reordering is not a permutation: groups cover tree indices "
+            f"{sorted(covered)[:8]}... for {hir.num_trees} trees"
+        )
+
+
+def _verify_lut(hir: HIRModule) -> None:
+    lut = hir.lut
+    if lut.ndim != 2:
+        _fail(f"LUT must be 2-D, got shape {lut.shape}")
+    shapes = hir.shape_registry.shapes()
+    for sid, shape in enumerate(shapes):
+        if sid >= lut.shape[0]:
+            break  # registry grew after this LUT was built (LIR dummy row)
+        row = lut[sid]
+        if shape == DUMMY_SHAPE:
+            if row.any():
+                _fail(f"reserved dummy LUT row {sid} is not all zeros")
+            continue
+        k = len(shape)
+        if lut.shape[1] < (1 << k):
+            _fail(
+                f"LUT row {sid} has {lut.shape[1]} columns but shape has "
+                f"{k} nodes (needs {1 << k})"
+            )
+        if int(row.max()) > k or int(row.min()) < 0:
+            _fail(
+                f"LUT row {sid}: child indices span "
+                f"[{int(row.min())}, {int(row.max())}], legal range is [0, {k}]"
+            )
+        for bits in range(1 << k):
+            want = shape_child_for_bits(shape, bits)
+            if int(row[bits]) != want:
+                _fail(
+                    f"LUT row {sid} pattern {bits:#x}: stored child "
+                    f"{int(row[bits])}, shape walk gives {want}"
+                )
+
+
+def verify_hir(hir: HIRModule) -> dict:
+    """Check every HIR invariant; returns span stats, raises on violation."""
+    if len(hir.tiled_trees) != hir.forest.num_trees:
+        _fail(
+            f"{len(hir.tiled_trees)} tiled trees for a forest of "
+            f"{hir.forest.num_trees}"
+        )
+    registered = set(hir.shape_registry.shapes())
+    for i, tiled in enumerate(hir.tiled_trees):
+        _verify_tile_tree(i, tiled, hir, registered)
+    _verify_groups(hir)
+    _verify_lut(hir)
+    return {
+        "trees_checked": len(hir.tiled_trees),
+        "groups_checked": len(hir.groups),
+        "tiles_checked": int(sum(t.num_tiles for t in hir.tiled_trees)),
+        "lut_rows_checked": int(hir.lut.shape[0]),
+    }

@@ -1,5 +1,7 @@
 """Unit tests for codegen, the JIT, the interpreter, and the Predictor."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -337,6 +339,66 @@ class TestParallelRuntime:
         before = pool_stats()["tasks_submitted"]
         parallel_predict(kernel, np.zeros((30, 2)), np.zeros((30, 1)), num_threads=3)
         assert pool_stats()["tasks_submitted"] == before + 3
+
+    def test_failure_waits_for_in_flight_siblings(self):
+        """Regression: the first block's exception used to be re-raised while
+        sibling tasks were still writing into ``out``. The exception must
+        only surface after every sibling has settled."""
+        import threading as _threading
+
+        slow_started = _threading.Event()
+        slow_finished = _threading.Event()
+
+        def kernel(rows, out):
+            if rows[0, 0] == 0:  # first block: fail, but only after the
+                assert slow_started.wait(5.0)  # slow sibling is in flight
+                raise ExecutionError("block zero exploded")
+            slow_started.set()
+            time.sleep(0.2)
+            out[:] = 7.0
+            slow_finished.set()
+
+        rows = np.arange(12, dtype=np.float64).reshape(6, 2)
+        out = np.zeros((6, 1))
+        before = pool_stats()
+        with pytest.raises(ExecutionError, match="block zero"):
+            parallel_predict(kernel, rows, out, num_threads=2)
+        # The slow sibling ran to completion *before* the raise reached us.
+        assert slow_finished.is_set()
+        assert (out[3:] == 7.0).all()
+        after = pool_stats()
+        delta_submitted = after["tasks_submitted"] - before["tasks_submitted"]
+        settled = (
+            (after["tasks_completed"] - before["tasks_completed"])
+            + (after["tasks_failed"] - before["tasks_failed"])
+            + (after["tasks_cancelled"] - before["tasks_cancelled"])
+        )
+        assert delta_submitted == 2
+        assert settled == 2  # every submitted task is accounted for
+        assert after["tasks_failed"] - before["tasks_failed"] == 1
+
+    def test_failure_cancels_queued_siblings(self):
+        """Blocks still sitting in the pool queue when an earlier block
+        fails are cancelled, and the accounting invariant
+        ``submitted == completed + failed + cancelled`` holds."""
+
+        def kernel(rows, out):
+            raise ExecutionError("every block fails")
+
+        rows = np.arange(64, dtype=np.float64).reshape(32, 2)
+        before = pool_stats()
+        with pytest.raises(ExecutionError, match="every block"):
+            parallel_predict(kernel, rows, np.zeros((32, 1)), num_threads=8)
+        after = pool_stats()
+        delta_submitted = after["tasks_submitted"] - before["tasks_submitted"]
+        settled = (
+            (after["tasks_completed"] - before["tasks_completed"])
+            + (after["tasks_failed"] - before["tasks_failed"])
+            + (after["tasks_cancelled"] - before["tasks_cancelled"])
+        )
+        assert delta_submitted == 8
+        assert settled == 8
+        assert after["tasks_failed"] - before["tasks_failed"] >= 1
 
     def test_shutdown_pool_allows_recreation(self):
         def kernel(rows, out):

@@ -99,6 +99,53 @@ class TestPredictorCache:
         value, hit = cache.get_or_compile("k", lambda: "ok")
         assert value == "ok" and not hit and len(calls) == 1
 
+    def test_followers_wake_before_leader_metrics(self):
+        """Regression: the leader used to record metrics *before* setting the
+        in-flight event, so a slow metrics sink stretched how long followers
+        blocked. Followers must observe the result while the leader is still
+        stuck inside ``record_cache(hit=False)``."""
+        leader_in_metrics = threading.Event()
+        follower_done = threading.Event()
+
+        class BlockingMetrics(ServingMetrics):
+            def record_cache(self, hit: bool) -> None:
+                super().record_cache(hit)
+                if not hit:
+                    leader_in_metrics.set()
+                    assert follower_done.wait(5.0), (
+                        "follower never completed while leader sat in metrics"
+                    )
+
+        cache = PredictorCache(metrics=BlockingMetrics())
+        follower_may_start = threading.Event()
+
+        def compile_fn():
+            follower_may_start.set()
+            time.sleep(0.05)  # let the follower reach event.wait()
+            return "predictor"
+
+        results = {}
+
+        def leader():
+            results["leader"] = cache.get_or_compile("k", compile_fn)
+
+        def follower():
+            assert follower_may_start.wait(5.0)
+            results["follower"] = cache.get_or_compile(
+                "k", lambda: pytest.fail("follower must not compile")
+            )
+            follower_done.set()
+
+        threads = [threading.Thread(target=leader), threading.Thread(target=follower)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)
+        assert leader_in_metrics.is_set()
+        assert results["leader"] == ("predictor", False)
+        assert results["follower"] == ("predictor", True)
+
     def test_invalidate_and_clear(self):
         cache = PredictorCache()
         cache.get_or_compile("k", lambda: "v")
@@ -208,6 +255,25 @@ class TestMicroBatcher:
         with MicroBatcher(lambda rows: rows.sum(axis=1)) as b:
             out = b.submit(np.zeros((0, 3))).result(timeout=5.0)
             assert out.shape == (0,)
+
+    def test_empty_batch_runs_on_worker_thread(self):
+        """Regression: the empty-batch fast path used to call ``run_batch``
+        inline on the submitting thread, violating the worker-thread-only
+        contract (run_batch may touch thread-local scratch arenas)."""
+        seen_threads = []
+
+        def run(rows):
+            seen_threads.append(threading.current_thread().name)
+            return rows.sum(axis=1)
+
+        with MicroBatcher(run, name="assert-worker") as b:
+            out = b.submit(np.zeros((0, 3))).result(timeout=5.0)
+            assert out.shape == (0,)
+            out = b.submit(np.ones((2, 3))).result(timeout=5.0)
+            assert out.shape == (2,)
+        assert seen_threads  # empty submit still reached run_batch
+        assert all(name == "assert-worker" for name in seen_threads)
+        assert threading.current_thread().name not in seen_threads
 
 
 # ----------------------------------------------------------------------
