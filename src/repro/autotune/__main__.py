@@ -1,0 +1,163 @@
+"""Command-line smoke driver for the budget-aware autotuner.
+
+Usage::
+
+    python -m repro.autotune                      # synthetic forest, tight budget
+    python -m repro.autotune --max-configs 12 --batch 128
+    python -m repro.autotune --cache /tmp/s.json --log explored.json
+
+Trains a small synthetic forest, runs a budgeted best-first tune, then
+re-runs against the same persistent cache and asserts the second run is a
+warm start (no candidates compiled). Exit code 0 means both the search and
+the cache round-trip behaved; the exploration log (every candidate with its
+predicted and measured cost) can be dumped as JSON for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.autotune.persist import ScheduleCache
+from repro.autotune.search import autotune
+from repro.autotune.space import TuningSpace
+
+
+def _smoke_space() -> TuningSpace:
+    """A small but multi-axis slice of Table II (24 candidates)."""
+    return TuningSpace(
+        tile_sizes=(1, 4, 8),
+        tilings=("basic", "hybrid"),
+        alphas=(0.075,),
+        pad_and_unroll=(True, False),
+        interleaves=(4, 8),
+        layouts=("sparse",),
+    )
+
+
+def _train_forest(features: int, seed: int):
+    from repro.training.gbdt import GBDTParams, train_gbdt
+
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(256, features))
+    y = X[:, 0] * 0.5 + np.sin(X[:, 1]) + 0.1 * rng.normal(size=256)
+    return train_gbdt(
+        X, y, GBDTParams(num_rounds=10, max_depth=4, seed=seed)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.autotune", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--batch", type=int, default=64, help="sample batch size")
+    parser.add_argument("--features", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-configs", type=int, default=8,
+        help="candidate budget for the cold run (default 8)",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=30.0,
+        help="wall-clock budget in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--cache", default=None,
+        help="schedule-cache path (default: a fresh temp file)",
+    )
+    parser.add_argument(
+        "--log", default=None,
+        help="write the exploration log (predicted + measured costs) as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    forest = _train_forest(args.features, args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    rows = rng.normal(size=(args.batch, args.features))
+    cache_path = args.cache or tempfile.mktemp(suffix="-schedules.json")
+    cache = ScheduleCache(cache_path)
+    space = _smoke_space()
+
+    started = time.perf_counter()
+    cold = autotune(
+        forest,
+        rows,
+        space=space,
+        repeats=1,
+        max_configs=args.max_configs,
+        min_time_s=0.005,
+        time_budget_s=args.time_budget,
+        cache=cache,
+    )
+    cold_s = time.perf_counter() - started
+    print(
+        f"cold: explored {cold.explored}/{cold.grid_size} candidates in "
+        f"{cold_s:.2f}s -> {cold.best_per_row_us:.1f} us/row "
+        f"(stopped_by={cold.stopped_by}, "
+        f"rank_correlation={cold.rank_correlation})"
+    )
+
+    warm = autotune(
+        forest,
+        rows,
+        space=space,
+        repeats=1,
+        max_configs=args.max_configs,
+        min_time_s=0.005,
+        cache=cache,
+    )
+    print(
+        f"warm: from_cache={warm.from_cache} explored={warm.explored} "
+        f"schedule={warm.best_schedule.to_dict()}"
+    )
+
+    ok = True
+    if cold.from_cache or cold.explored == 0:
+        print("FAIL: cold run unexpectedly warm-started", file=sys.stderr)
+        ok = False
+    if not warm.from_cache or warm.explored != 0:
+        print("FAIL: warm run did not hit the persisted cache", file=sys.stderr)
+        ok = False
+    if warm.best_schedule != cold.best_schedule:
+        print("FAIL: persisted winner does not round-trip", file=sys.stderr)
+        ok = False
+    got = warm.best_predictor.raw_predict(rows)
+    want = forest.raw_predict(rows)
+    if not np.allclose(got, want, rtol=1e-10, atol=1e-12):
+        print("FAIL: warm-start predictor miscompares", file=sys.stderr)
+        ok = False
+
+    if args.log:
+        payload = {
+            "grid_size": cold.grid_size,
+            "explored": cold.explored,
+            "stopped_by": cold.stopped_by,
+            "rank_correlation": cold.rank_correlation,
+            "best_per_row_us": cold.best_per_row_us,
+            "best_schedule": cold.best_schedule.to_dict(),
+            "log": [
+                {
+                    "schedule": schedule.to_dict(),
+                    "measured_per_row_us": measured,
+                    "predicted_cost": predicted,
+                }
+                for (schedule, measured), predicted in zip(
+                    cold.log, cold.predicted
+                )
+            ],
+        }
+        with open(args.log, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"exploration log -> {args.log}")
+
+    print(f"autotune smoke: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

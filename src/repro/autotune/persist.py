@@ -1,0 +1,223 @@
+"""On-disk persistence of autotuning winners.
+
+A tuning run is expensive (it compiles and times many candidates); its
+*result* is one small schedule. :class:`ScheduleCache` persists winning
+``(model_fingerprint, machine, batch_size) → Schedule`` entries to a JSON
+file so a restarted process skips the search entirely — the serving
+layer's warm-start path.
+
+Invalidation is structural, not temporal:
+
+* the **model fingerprint** covers the full forest structure and
+  parameters, so a retrained or edited model never matches a stale entry;
+* the **machine id** (CPU architecture + core count + cost-model profile)
+  partitions entries per host class, because the paper's central tuning
+  observation is that the best schedule differs between machines;
+* the file carries a **format version**; any mismatch (or an entry whose
+  schedule fields no longer construct, e.g. a knob was renamed) discards
+  the entry rather than reinterpreting it.
+
+Writes are atomic (temp file + ``os.replace``) and the in-process object
+is thread-safe, so a server running several background tunes can share one
+cache. Concurrent *processes* may race whole-file writes; the loser's
+entries are re-derived on the next tune, which is safe because entries are
+derived data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import threading
+from dataclasses import dataclass, field
+
+from repro.config import Schedule
+from repro.errors import ReproError
+
+#: bump when the entry layout changes; old files are discarded wholesale
+CACHE_FORMAT_VERSION = 1
+
+#: environment override for the default cache location
+CACHE_PATH_ENV = "REPRO_TUNE_CACHE"
+
+
+def default_cache_path() -> str:
+    """``$REPRO_TUNE_CACHE`` or a per-user cache file."""
+    env = os.environ.get(CACHE_PATH_ENV)
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro", "schedules.json")
+
+
+def machine_id(profile_name: str | None = None) -> str:
+    """Identity of the host class a tuned schedule is valid for."""
+    arch = platform.machine() or "unknown"
+    cores = os.cpu_count() or 1
+    tag = f"{arch}-{cores}c"
+    return f"{tag}-{profile_name}" if profile_name else tag
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One persisted tuning winner."""
+
+    schedule: Schedule
+    per_row_us: float
+    explored: int = 0
+    #: Spearman correlation of the cost-model ranking for the run that
+    #: produced this entry (None when too few candidates were measured).
+    rank_correlation: float | None = None
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schedule": self.schedule.to_dict(),
+            "per_row_us": self.per_row_us,
+            "explored": self.explored,
+            "rank_correlation": self.rank_correlation,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheEntry":
+        return cls(
+            schedule=Schedule.from_dict(data["schedule"]),
+            per_row_us=float(data["per_row_us"]),
+            explored=int(data.get("explored", 0)),
+            rank_correlation=data.get("rank_correlation"),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+class ScheduleCache:
+    """Thread-safe, file-backed map of tuning winners.
+
+    Parameters
+    ----------
+    path:
+        Backing JSON file; parent directories are created on first save.
+        ``None`` keeps the cache purely in-memory (tests, ephemeral runs).
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._entries: dict[str, CacheEntry] = {}
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(fingerprint: str, machine: str, batch_size: int) -> str:
+        return f"{fingerprint}|{machine}|{int(batch_size)}"
+
+    # ------------------------------------------------------------------
+    # File I/O
+    # ------------------------------------------------------------------
+    def _ensure_loaded(self) -> None:
+        # Caller holds the lock.
+        if self._loaded:
+            return
+        self._loaded = True
+        if not self.path or not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return  # corrupt/unreadable: start empty, next save repairs it
+        if doc.get("version") != CACHE_FORMAT_VERSION:
+            return
+        for key, raw in doc.get("entries", {}).items():
+            try:
+                self._entries[key] = CacheEntry.from_dict(raw)
+            except (ReproError, KeyError, TypeError, ValueError):
+                continue  # stale knob set: discard just this entry
+
+    def _save_locked(self) -> None:
+        if not self.path:
+            return
+        doc = {
+            "version": CACHE_FORMAT_VERSION,
+            "entries": {k: e.to_dict() for k, e in self._entries.items()},
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, indent=1)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def lookup(
+        self, fingerprint: str, machine: str, batch_size: int
+    ) -> CacheEntry | None:
+        with self._lock:
+            self._ensure_loaded()
+            return self._entries.get(self.key(fingerprint, machine, batch_size))
+
+    def store(
+        self,
+        fingerprint: str,
+        machine: str,
+        batch_size: int,
+        entry: CacheEntry,
+    ) -> None:
+        """Insert/overwrite one winner and persist the file atomically."""
+        with self._lock:
+            self._ensure_loaded()
+            self._entries[self.key(fingerprint, machine, batch_size)] = entry
+            self._save_locked()
+
+    def invalidate(
+        self, fingerprint: str, machine: str | None = None
+    ) -> int:
+        """Drop entries for a model (optionally one machine); returns count."""
+        with self._lock:
+            self._ensure_loaded()
+            prefix = f"{fingerprint}|"
+            doomed = [
+                k
+                for k in self._entries
+                if k.startswith(prefix)
+                and (machine is None or k.split("|")[1] == machine)
+            ]
+            for k in doomed:
+                del self._entries[k]
+            if doomed:
+                self._save_locked()
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._loaded = True
+            self._save_locked()
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._ensure_loaded()
+            return len(self._entries)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            self._ensure_loaded()
+            return sorted(self._entries)
+
+    def __repr__(self) -> str:
+        return f"ScheduleCache(path={self.path!r}, entries={len(self)})"

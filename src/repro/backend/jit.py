@@ -41,11 +41,18 @@ _CACHE_CAP = DEFAULT_CODE_CACHE_CAP
 _CACHE_LOCK = threading.Lock()
 
 
-def compile_source(source: str, namespace: dict) -> Callable:
-    """Compile ``source`` and return its ``predict_block`` bound to ``namespace``."""
+def compile_source(source: str, namespace: dict) -> tuple[Callable, bool]:
+    """Compile ``source``; returns ``(predict_block, cache_hit)``.
+
+    The hit flag is decided by the initial lookup, not by observing the
+    cache size: once the LRU is at capacity an insert+evict leaves the
+    size unchanged, and concurrent compiles shift it arbitrarily — both
+    previously mis-reported misses as hits.
+    """
     with _CACHE_LOCK:
         code = _CODE_CACHE.get(source)
-        if code is not None:
+        hit = code is not None
+        if hit:
             _CODE_CACHE.move_to_end(source)
     if code is None:
         try:
@@ -53,15 +60,22 @@ def compile_source(source: str, namespace: dict) -> Callable:
         except SyntaxError as exc:  # codegen bug: surface the source context
             raise CodegenError(f"generated source failed to compile: {exc}") from exc
         with _CACHE_LOCK:
-            _CODE_CACHE[source] = code
+            # A concurrent compile of the same source may have inserted
+            # meanwhile; keep one canonical code object, but still report
+            # a miss — this thread paid for the compilation.
+            existing = _CODE_CACHE.get(source)
+            if existing is not None:
+                code = existing
+            else:
+                _CODE_CACHE[source] = code
+                while len(_CODE_CACHE) > _CACHE_CAP:
+                    _CODE_CACHE.popitem(last=False)
             _CODE_CACHE.move_to_end(source)
-            while len(_CODE_CACHE) > _CACHE_CAP:
-                _CODE_CACHE.popitem(last=False)
     exec(code, namespace)
     fn = namespace.get("predict_block")
     if fn is None:
         raise CodegenError("generated source did not define predict_block")
-    return fn
+    return fn, hit
 
 
 def compile_lir(
@@ -84,9 +98,8 @@ def compile_lir(
         namespace = build_namespace(lir, profile_recorder=profile_recorder)
         span.stats["num_globals"] = len(namespace)
     with trace.span("jit-compile") as span:
-        cached_before = cache_size()
-        kernel = compile_source(source, namespace)
-        span.stats["code_cache_hit"] = cache_size() == cached_before
+        kernel, hit = compile_source(source, namespace)
+        span.stats["code_cache_hit"] = hit
     return kernel, source
 
 

@@ -11,7 +11,7 @@ compiled (the paper's "annotation" mechanism).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 
 from repro.errors import ScheduleError
 
@@ -172,3 +172,21 @@ class Schedule:
     def with_(self, **updates) -> "Schedule":
         """A copy of this schedule with some fields replaced."""
         return replace(self, **updates)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (round-trips via :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schedule":
+        """Rebuild a schedule from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ScheduleError` — a persisted schedule
+        written by a different version of the knob set must be discarded,
+        not silently reinterpreted.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ScheduleError(f"unknown schedule fields: {', '.join(unknown)}")
+        return cls(**data)

@@ -7,6 +7,8 @@ observability surface behind a single ``snapshot()`` / ``export_json()``:
 * ``traces``       — the most recent compilation traces (bounded ring)
 * ``profiles``     — aggregated kernel profiling counters of every live
   ``Schedule(profile=True)`` predictor
+* ``tunes``        — the most recent autotuning runs (bounded ring):
+  winner schedule, budget outcome, cost-model rank correlation
 * ``serving``      — the metrics snapshot of every live ``ModelServer``
   (servers register on construction, unregister on close)
 * ``gauges``       — ad-hoc point-in-time providers registered by anyone
@@ -34,14 +36,18 @@ SNAPSHOT_KEYS = (
     "kernel_pool",
     "traces",
     "profiles",
+    "tunes",
     "serving",
     "gauges",
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: recent compilation traces kept for the snapshot
 TRACE_RING_CAPACITY = 32
+
+#: recent autotuning runs kept for the snapshot
+TUNE_RING_CAPACITY = 32
 
 
 class Registry:
@@ -53,6 +59,8 @@ class Registry:
         self._gauges: dict[str, Callable[[], object]] = {}
         self._traces: deque[dict] = deque(maxlen=trace_capacity)
         self._traces_recorded = 0
+        self._tunes: deque[dict] = deque(maxlen=TUNE_RING_CAPACITY)
+        self._tunes_recorded = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -80,6 +88,12 @@ class Registry:
             self._traces.append(snapshot)
             self._traces_recorded += 1
 
+    def record_tune(self, event: dict) -> None:
+        """Push one finished autotuning run into the bounded ring."""
+        with self._lock:
+            self._tunes.append(jsonable(event))
+            self._tunes_recorded += 1
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -92,6 +106,8 @@ class Registry:
             gauges = dict(self._gauges)
             traces = list(self._traces)
             recorded = self._traces_recorded
+            tunes = list(self._tunes)
+            tunes_recorded = self._tunes_recorded
         return {
             "schema_version": SCHEMA_VERSION,
             "kernel_pool": _call_safe(pool_stats),
@@ -101,6 +117,11 @@ class Registry:
                 "recent": traces,
             },
             "profiles": _profile.aggregate_all(),
+            "tunes": {
+                "recorded": tunes_recorded,
+                "kept": len(tunes),
+                "recent": tunes,
+            },
             "serving": {name: _call_safe(fn) for name, fn in serving.items()},
             "gauges": {name: _call_safe(fn) for name, fn in gauges.items()},
         }
@@ -116,6 +137,8 @@ class Registry:
             self._gauges.clear()
             self._traces.clear()
             self._traces_recorded = 0
+            self._tunes.clear()
+            self._tunes_recorded = 0
 
     def __repr__(self) -> str:
         with self._lock:

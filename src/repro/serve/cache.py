@@ -129,6 +129,23 @@ class PredictorCache:
                 self._entries.move_to_end(key)
             return value
 
+    def put(self, key: str, value: object) -> None:
+        """Insert an already-compiled predictor (background tuning winners).
+
+        Applies the same LRU bound as :meth:`get_or_compile`; evictions are
+        counted in metrics. Waiters coalesced on an in-flight compile for
+        the same key are unaffected — they share the leader's result.
+        """
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            evicted = 0
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self.metrics.record_eviction(evicted)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

@@ -95,6 +95,13 @@ class ServingMetrics:
                             covers every request since construction/reset —
                             the two diverge once the window rotates past a
                             spike.
+    ``tuning``              background-autotune lifecycle: ``started``,
+                            ``completed``, ``failed``, ``cache_hits``
+                            (persisted warm starts), ``hot_swaps``
+                            (sessions atomically switched to a faster
+                            predictor), and ``last`` — the most recent
+                            run's explored count, per-row latency and
+                            cost-model rank correlation.
     ``runtime``             registered gauges, read at snapshot time (the
                             server wires in kernel-pool counters and the
                             scratch-arena / model-buffer footprints of
@@ -117,6 +124,12 @@ class ServingMetrics:
         self.batch_requests_hist: Counter[int] = Counter()
         self._latency = LatencyWindow(latency_window)
         self._max_latency = 0.0
+        self.tunes_started = 0
+        self.tunes_completed = 0
+        self.tunes_failed = 0
+        self.tune_cache_hits = 0
+        self.hot_swaps = 0
+        self._last_tune: dict | None = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -151,6 +164,28 @@ class ServingMetrics:
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
+
+    def record_tune_started(self) -> None:
+        with self._lock:
+            self.tunes_started += 1
+
+    def record_tune_completed(self, info: dict | None = None) -> None:
+        """One background tune finished; ``info`` summarizes the run
+        (explored count, best per-row µs, rank correlation, swap outcome)."""
+        with self._lock:
+            self.tunes_completed += 1
+            if info is not None:
+                self._last_tune = dict(info)
+                if info.get("from_cache"):
+                    self.tune_cache_hits += 1
+
+    def record_tune_failed(self) -> None:
+        with self._lock:
+            self.tunes_failed += 1
+
+    def record_hot_swap(self) -> None:
+        with self._lock:
+            self.hot_swaps += 1
 
     def record_batch(self, num_rows: int, num_requests: int) -> None:
         with self._lock:
@@ -222,6 +257,12 @@ class ServingMetrics:
             self.batch_requests_hist.clear()
             self._latency.clear()
             self._max_latency = 0.0
+            self.tunes_started = 0
+            self.tunes_completed = 0
+            self.tunes_failed = 0
+            self.tune_cache_hits = 0
+            self.hot_swaps = 0
+            self._last_tune = None
 
     def snapshot(self) -> dict:
         """Atomic copy of every counter and histogram (plus gauge reads)."""
@@ -240,6 +281,14 @@ class ServingMetrics:
                 "batch_rows_hist": dict(self.batch_rows_hist),
                 "batch_requests_hist": dict(self.batch_requests_hist),
                 "latency": self._latency_dict(),
+                "tuning": {
+                    "started": self.tunes_started,
+                    "completed": self.tunes_completed,
+                    "failed": self.tunes_failed,
+                    "cache_hits": self.tune_cache_hits,
+                    "hot_swaps": self.hot_swaps,
+                    "last": dict(self._last_tune) if self._last_tune else None,
+                },
                 "runtime": runtime,
             }
 

@@ -12,21 +12,35 @@ from __future__ import annotations
 
 import itertools
 import threading
+from concurrent.futures import Future, wait as futures_wait
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.backend.parallel import pool_stats
+from repro.autotune.persist import ScheduleCache, default_cache_path
+from repro.autotune.search import autotune
+from repro.autotune.space import TuningSpace
+from repro.backend.jit import model_fingerprint
+from repro.backend.parallel import get_pool, pool_stats
 from repro.config import Schedule
 from repro.errors import ServingError
 from repro.forest.ensemble import Forest
 from repro.observe import registry as observe_registry
+from repro.perf.timer import measure
 from repro.serve.batching import BatchingPolicy
 from repro.serve.cache import DEFAULT_PREDICTOR_CACHE_CAP, PredictorCache
 from repro.serve.metrics import ServingMetrics
 from repro.serve.session import InferenceSession
 
 _server_ids = itertools.count(1)
+
+#: sentinel: resolve the schedule cache path from the environment/home dir
+DEFAULT_TUNE_CACHE = "default"
+
+#: a tuned predictor must beat the incumbent by this factor to be swapped
+#: in — re-compiling for sub-noise wins churns the predictor cache for
+#: nothing.
+SWAP_THRESHOLD = 0.98
 
 
 @dataclass(frozen=True)
@@ -46,6 +60,18 @@ class ServerConfig:
         Degrade to the interpreter on compile failure instead of raising.
     validate_inputs:
         Reject NaN rows at predict time.
+    tune_cache_path:
+        Backing file for the persistent schedule cache used by
+        ``register(..., tune=True)``. The default sentinel resolves to
+        ``$REPRO_TUNE_CACHE`` or the per-user cache dir; ``None`` keeps
+        tuning winners in memory only (tests, ephemeral deployments).
+    tune_max_configs, tune_time_budget_s, tune_patience:
+        Budget for each background tune: candidate cap, wall-clock ceiling
+        and early-exit patience (see :func:`repro.autotune.autotune`).
+    tune_repeats, tune_min_time_s:
+        Timing discipline per candidate during background tuning — looser
+        than offline benchmarking on purpose: the tuner shares the machine
+        with live traffic.
     """
 
     cache_capacity: int = DEFAULT_PREDICTOR_CACHE_CAP
@@ -53,6 +79,12 @@ class ServerConfig:
     threads: int | None = None
     allow_fallback: bool = True
     validate_inputs: bool = True
+    tune_cache_path: str | None = DEFAULT_TUNE_CACHE
+    tune_max_configs: int | None = 24
+    tune_time_budget_s: float | None = 10.0
+    tune_patience: int | None = 8
+    tune_repeats: int = 1
+    tune_min_time_s: float = 0.005
 
 
 class ModelServer:
@@ -67,6 +99,11 @@ class ModelServer:
         self._sessions: dict[str, InferenceSession] = {}
         self._lock = threading.Lock()
         self._closed = False
+        path = self.config.tune_cache_path
+        if path == DEFAULT_TUNE_CACHE:
+            path = default_cache_path()
+        self.schedule_cache = ScheduleCache(path)
+        self._tunes: list[Future] = []
         # Runtime gauges: the shared kernel pool plus the footprints of
         # every resident predictor (model buffers + per-thread scratch
         # arenas), read at snapshot time.
@@ -106,12 +143,24 @@ class ModelServer:
         *,
         batching: BatchingPolicy | None | str = "inherit",
         threads: int | None | str = "inherit",
+        tune: bool = False,
+        tune_rows: np.ndarray | None = None,
+        tune_space: TuningSpace | None = None,
     ) -> InferenceSession:
         """Compile (or cache-hit) ``forest`` and serve it as ``name``.
 
         Re-registering an existing name replaces its session; registering a
         fingerprint-identical model (under any name) reuses the cached
         predictor without recompiling.
+
+        With ``tune=True`` the session serves immediately on the cheap
+        default (or given) schedule while a budget-aware autotune runs on
+        the shared kernel pool in the background; when a faster schedule
+        wins, the session's predictor is hot-swapped atomically.
+        ``tune_rows`` should be a representative sample batch (its size is
+        part of the tuning key); synthetic normal rows are used when
+        omitted. Winners persist to the server's schedule cache, so a
+        restart warm-starts without searching.
         """
         if self._closed:
             raise ServingError("server is closed")
@@ -130,7 +179,112 @@ class ModelServer:
             self._sessions[name] = session
         if old is not None:
             old.close()
+        if tune:
+            if tune_rows is None:
+                rng = np.random.default_rng(0)
+                tune_rows = rng.normal(size=(64, forest.num_features))
+            else:
+                tune_rows = np.ascontiguousarray(tune_rows, dtype=np.float64)
+            self._start_tune(name, session, tune_rows, tune_space)
         return session
+
+    # ------------------------------------------------------------------
+    # Background tuning
+    # ------------------------------------------------------------------
+    def _start_tune(
+        self,
+        name: str,
+        session: InferenceSession,
+        rows: np.ndarray,
+        space: TuningSpace | None,
+    ) -> Future:
+        self.metrics.record_tune_started()
+        future = get_pool().submit(self._tune_job, name, session, rows, space)
+        with self._lock:
+            self._tunes = [f for f in self._tunes if not f.done()]
+            self._tunes.append(future)
+        return future
+
+    def _tune_job(
+        self,
+        name: str,
+        session: InferenceSession,
+        rows: np.ndarray,
+        space: TuningSpace | None,
+    ) -> dict:
+        """Runs on the shared kernel pool; must never raise (pool hygiene).
+
+        Tuning compiles/times serial candidates (the searched grid keeps
+        ``parallel=1`` from the base schedule), so the job is a leaf task
+        and cannot deadlock the pool it runs on.
+        """
+        cfg = self.config
+        try:
+            result = autotune(
+                session.forest,
+                rows,
+                space=space,
+                base=session.schedule,
+                repeats=cfg.tune_repeats,
+                max_configs=cfg.tune_max_configs,
+                min_time_s=cfg.tune_min_time_s,
+                time_budget_s=cfg.tune_time_budget_s,
+                patience=cfg.tune_patience,
+                cache=self.schedule_cache,
+            )
+            info = self._maybe_swap(name, session, rows, result)
+            self.metrics.record_tune_completed(info)
+            return info
+        except Exception as exc:  # noqa: BLE001 - a tune failure must never
+            # poison the pool worker or take the serving path down; the
+            # session keeps serving on its registration-time predictor.
+            self.metrics.record_tune_failed()
+            return {"name": name, "error": str(exc), "swapped": False}
+
+    def _maybe_swap(self, name, session, rows, result) -> dict:
+        """Swap the session onto the tuned predictor if it measures faster."""
+        cfg = self.config
+        baseline_us = measure(
+            lambda: session.predictor.raw_predict(rows),
+            rows=rows.shape[0],
+            repeats=cfg.tune_repeats,
+            min_time_s=cfg.tune_min_time_s,
+        ).per_row_us
+        tuned_us = measure(
+            lambda: result.best_predictor.raw_predict(rows),
+            rows=rows.shape[0],
+            repeats=cfg.tune_repeats,
+            min_time_s=cfg.tune_min_time_s,
+        ).per_row_us
+        info = {
+            "name": name,
+            "explored": result.explored,
+            "grid_size": result.grid_size,
+            "from_cache": result.from_cache,
+            "rank_correlation": result.rank_correlation,
+            "stopped_by": result.stopped_by,
+            "baseline_per_row_us": baseline_us,
+            "tuned_per_row_us": tuned_us,
+            "swapped": False,
+        }
+        with self._lock:
+            current = self._sessions.get(name) is session and not self._closed
+        if current and tuned_us < baseline_us * SWAP_THRESHOLD:
+            key = model_fingerprint(session.forest, result.best_schedule)
+            self.cache.put(key, result.best_predictor)
+            session.swap_predictor(result.best_predictor, result.best_schedule)
+            info["swapped"] = True
+        return info
+
+    def wait_for_tunes(self, timeout: float | None = None) -> bool:
+        """Block until every background tune launched so far settles.
+
+        Returns False when ``timeout`` expired with tunes still running.
+        """
+        with self._lock:
+            pending = list(self._tunes)
+        done, not_done = futures_wait(pending, timeout=timeout)
+        return not not_done
 
     def unregister(self, name: str) -> None:
         with self._lock:
@@ -180,6 +334,13 @@ class ModelServer:
         with self._lock:
             sessions, self._sessions = list(self._sessions.values()), {}
             self._closed = True
+            tunes, self._tunes = list(self._tunes), []
+        for future in tunes:
+            future.cancel()
+        # Running tunes are bounded by the tuning budget; wait them out so
+        # no background compile outlives the server (their swaps are
+        # already disarmed by _closed).
+        futures_wait([f for f in tunes if not f.cancelled()])
         for session in sessions:
             session.close()
 

@@ -120,6 +120,28 @@ class InferenceSession:
         return getattr(self.predictor, "is_fallback", False)
 
     # ------------------------------------------------------------------
+    # Hot swap (background tuning)
+    # ------------------------------------------------------------------
+    def swap_predictor(self, predictor, schedule: Schedule | None = None):
+        """Atomically switch this session to ``predictor``; returns the old one.
+
+        The swap is one attribute rebind: requests already inside
+        ``raw_predict`` finish on the predictor they captured, later
+        requests see the new one — no request is dropped or served by a
+        half-updated session. ``schedule`` (when given) updates the
+        session's schedule and fingerprint to match, and the swap is
+        counted in metrics.
+        """
+        old = self.predictor
+        if schedule is not None:
+            self.schedule = schedule
+            self.fingerprint = model_fingerprint(self.forest, schedule)
+        self.predictor = predictor
+        self.fallback_error = None
+        self.metrics.record_hot_swap()
+        return old
+
+    # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
     def _run_raw(self, rows: np.ndarray) -> np.ndarray:

@@ -134,6 +134,12 @@ def main(argv: list[str] | None = None) -> int:
         "--no-grid", action="store_true", help="skip the grid-verification phase"
     )
     parser.add_argument(
+        "--cost-ranked",
+        action="store_true",
+        help="also sweep the top cost-ranked schedules of the extended grid "
+        "(the candidates the budgeted tuner compiles first)",
+    )
+    parser.add_argument(
         "--no-minimize", action="store_true", help="report failures without shrinking"
     )
     args = parser.parse_args(argv)
@@ -146,6 +152,14 @@ def main(argv: list[str] | None = None) -> int:
     grid_failures = 0
     if not args.no_grid:
         grid_failures = run_grid(args.seed, smoke=args.smoke)
+    if args.cost_ranked:
+        from repro.verify.sweep import SWEEP_CONFIG, run_cost_ranked_sweep
+
+        top_k = 4 if args.smoke else SWEEP_CONFIG["top_k"]
+        _, sweep_failures = run_cost_ranked_sweep(
+            seeds=(args.seed,), top_k=top_k, log=print
+        )
+        grid_failures += sweep_failures
 
     config = FuzzConfig(
         cases=cases,

@@ -1,0 +1,96 @@
+"""Cost-ranked differential sweep: fuzz the schedules the tuner favors.
+
+The random fuzz loop (:mod:`repro.verify.fuzz`) samples the Table-II grid
+uniformly, but the budget-aware tuner (:mod:`repro.autotune`) explores it
+*best-first* under the static cost model — so the schedules a production
+deployment actually compiles are concentrated at the top of the ranking.
+This sweep closes that gap: for each seeded fuzz forest it ranks the full
+(extended) grid with the cost model and differential-checks the top-K
+candidates against the reference interpreter and Forest across the
+adversarial input corpus, with every structural verifier enabled.
+
+``SWEEP_CONFIG`` is the checked-in configuration of the PR5 campaign; the
+same parameters re-run via ``python -m repro.verify --cost-ranked`` (or
+directly through :func:`run_cost_ranked_sweep`). The campaign this
+configuration describes ran clean — see DESIGN.md ("Fuzzing the tuner's
+favorites") for the recorded totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autotune.cost import rank_schedules
+from repro.autotune.space import default_space, schedule_grid
+from repro.errors import ReproError
+from repro.verify.fuzz import adversarial_batches, compare_case, random_fuzz_forest
+
+#: the PR5 sweep campaign: three seeds x three forest shapes x the top 12
+#: cost-ranked schedules of the extended grid x the full adversarial corpus
+SWEEP_CONFIG = {
+    "seeds": (0, 1, 2),
+    "top_k": 12,
+    "batch_size": 64,
+    "extended_grid": True,
+}
+
+
+def _sweep_forests(rng: np.random.Generator) -> list[tuple[str, object]]:
+    return [
+        ("regression", random_fuzz_forest(rng, num_trees=8, max_depth=6)),
+        (
+            "multiclass",
+            random_fuzz_forest(rng, num_trees=6, max_depth=4, num_classes=3),
+        ),
+        ("degenerate", random_fuzz_forest(rng, num_trees=3, max_depth=1)),
+    ]
+
+
+def run_cost_ranked_sweep(
+    seeds: tuple[int, ...] = SWEEP_CONFIG["seeds"],
+    top_k: int = SWEEP_CONFIG["top_k"],
+    batch_size: int = SWEEP_CONFIG["batch_size"],
+    extended_grid: bool = SWEEP_CONFIG["extended_grid"],
+    log=None,
+) -> tuple[int, int]:
+    """Differential-check the top-``top_k`` cost-ranked schedules.
+
+    Returns ``(comparisons, failures)``. Each failure is logged via
+    ``log`` (a ``print``-like callable) with enough context to rebuild the
+    case deterministically from its seed.
+    """
+    comparisons = 0
+    failures = 0
+    for seed in seeds:
+        rng = np.random.default_rng([seed, 0xC0])
+        for name, forest in _sweep_forests(rng):
+            grid = list(schedule_grid(default_space(extended=extended_grid)))
+            ranked = rank_schedules(forest, grid, batch_size)
+            for _, schedule in ranked[:top_k]:
+                schedule = schedule.with_(verify=True)
+                for label, rows in adversarial_batches(
+                    forest, rng, precision=schedule.precision
+                ):
+                    comparisons += 1
+                    try:
+                        outcome = compare_case(forest, schedule, rows)
+                    except ReproError as exc:
+                        outcome = ("compile", float("nan"))
+                        if log:
+                            log(f"  compile raised: {exc}")
+                    if outcome is not None:
+                        failures += 1
+                        if log:
+                            stage, err = outcome
+                            log(
+                                f"SWEEP FAIL seed={seed} [{name}] "
+                                f"batch={label} stage={stage} "
+                                f"max|err|={err:.3e} "
+                                f"schedule={schedule.to_dict()}"
+                            )
+    if log:
+        log(
+            f"cost-ranked sweep: {comparisons} comparisons over "
+            f"{len(seeds)} seeds, {failures} failures"
+        )
+    return comparisons, failures

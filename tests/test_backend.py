@@ -11,6 +11,7 @@ from repro.backend.interpreter import interpret_lir
 from repro.backend.jit import (
     cache_limit,
     cache_size,
+    clear_cache,
     compile_lir,
     compile_source,
     model_fingerprint,
@@ -141,6 +142,58 @@ class TestJIT:
     def test_cache_limit_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             set_cache_limit(0)
+
+    def test_compile_source_reports_real_hit_flag(self):
+        clear_cache()
+        _, hit = compile_source("def predict_block(rows, out):\n    return out\n", {})
+        assert hit is False
+        _, hit = compile_source("def predict_block(rows, out):\n    return out\n", {})
+        assert hit is True
+
+    def test_full_cache_miss_not_reported_as_hit(self):
+        """Regression: at capacity, a miss that inserts+evicts leaves
+        ``cache_size()`` unchanged and used to be reported as a hit."""
+        previous = set_cache_limit(4)
+        try:
+            clear_cache()
+            for i in range(cache_limit()):
+                _, hit = compile_source(
+                    f"def predict_block(rows, out):\n    return out  # fill{i}\n",
+                    {},
+                )
+                assert hit is False
+            assert cache_size() == cache_limit()
+            fresh = "def predict_block(rows, out):\n    return out  # fresh\n"
+            _, hit = compile_source(fresh, {})
+            assert hit is False  # size stayed at capacity, but this compiled
+            assert cache_size() == cache_limit()
+            _, hit = compile_source(fresh, {})
+            assert hit is True  # and a repeat is a genuine hit
+        finally:
+            set_cache_limit(previous)
+            clear_cache()
+
+    def test_compile_lir_trace_hit_flag_under_full_cache(self, trained_forest):
+        from repro.observe.trace import CompilationTrace
+
+        lir = lower(trained_forest, Schedule(tile_size=2, interleave=2))
+        previous = set_cache_limit(2)
+        try:
+            clear_cache()
+            for i in range(cache_limit()):
+                compile_source(
+                    f"def predict_block(rows, out):\n    return out  # pad{i}\n",
+                    {},
+                )
+            trace = CompilationTrace()
+            compile_lir(lir, trace=trace)
+            assert trace.find("jit-compile").stats["code_cache_hit"] is False
+            trace2 = CompilationTrace()
+            compile_lir(lir, trace=trace2)
+            assert trace2.find("jit-compile").stats["code_cache_hit"] is True
+        finally:
+            set_cache_limit(previous)
+            clear_cache()
 
     def test_model_fingerprint_stable_and_schedule_sensitive(self, trained_forest):
         a = model_fingerprint(trained_forest, Schedule())

@@ -256,7 +256,18 @@ class TestRegistry:
     def test_snapshot_schema_is_stable(self):
         snap = Registry().snapshot()
         assert tuple(snap.keys()) == SNAPSHOT_KEYS
-        assert snap["schema_version"] == 1
+        assert snap["schema_version"] == 2
+
+    def test_tune_ring_records_and_bounds(self):
+        reg = Registry()
+        for i in range(40):
+            reg.record_tune({"explored": i})
+        snap = reg.snapshot()
+        assert snap["tunes"]["recorded"] == 40
+        assert snap["tunes"]["kept"] == 32
+        assert snap["tunes"]["recent"][-1]["explored"] == 39
+        reg.clear()
+        assert reg.snapshot()["tunes"]["recorded"] == 0
 
     def test_global_registry_snapshot_schema(self):
         snap = registry.snapshot()

@@ -382,3 +382,29 @@ class TestCLI:
         failures = run_grid(seed=0, smoke=True, log=print)
         assert failures == 0
         assert "grid:" in capsys.readouterr().out
+
+
+class TestCostRankedSweep:
+    def test_tiny_sweep_is_clean(self, capsys):
+        """The schedules the budgeted tuner compiles first must verify and
+        match the references on the adversarial corpus (PR5 sweep config)."""
+        from repro.verify.sweep import run_cost_ranked_sweep
+
+        comparisons, failures = run_cost_ranked_sweep(
+            seeds=(0,), top_k=2, log=print
+        )
+        assert failures == 0
+        assert comparisons > 0
+
+    def test_cli_flag_runs_sweep(self, tmp_path, capsys):
+        from repro.verify.__main__ import main
+
+        rc = main(
+            [
+                "--no-grid", "--cost-ranked", "--smoke", "--cases", "1",
+                "--seed", "0", "--out", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cost-ranked sweep:" in out
