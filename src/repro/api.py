@@ -2,9 +2,11 @@
 
 ``compile_model`` runs the whole pipeline of Figure 1: HIR construction
 (tiling, padding, reordering) → MIR lowering + loop passes (interleave,
-peel/unroll, parallelize) → LIR lowering (layouts, LUT) → code generation
-and JIT. The result is a :class:`~repro.backend.predictor.Predictor` whose
-``predict``/``raw_predict`` match the reference ``Forest`` semantics.
+peel/unroll, parallelize) → LIR lowering (layouts, LUT) → and finally the
+code-generation backend selected by ``Schedule(backend=...)`` through the
+:mod:`repro.backend.registry` (default: the in-process NumPy JIT). The
+result is a :class:`~repro.backend.predictor.Predictor`-surface executor
+whose ``predict``/``raw_predict`` match the reference ``Forest`` semantics.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backend.predictor import Predictor
+from repro.backend.registry import get_backend
 from repro.config import Schedule
 from repro.forest.ensemble import Forest
 from repro.hir.ir import build_hir
@@ -86,12 +89,15 @@ def compile_model(
     if schedule.verify:
         with trace.span("verify-lir") as span:
             span.stats.update(verify_lir_module(lir))
-    with trace.span("backend"):
-        predictor = Predictor(
+    backend = get_backend(schedule.backend)
+    with trace.span("backend") as span:
+        span.stats["backend"] = backend.name
+        predictor = backend.build(
             forest, lir, validate_inputs=validate_inputs, trace=trace
         )
     trace.finish()
     registry.record_trace(trace)
+    registry.record_backend_event(backend.name, "compiles")
     return predictor
 
 

@@ -41,6 +41,10 @@ class TuningSpace:
     #: traversal strategies; add "quickscorer" to explore the Section VII
     #: alternative (one grid point — it has no tiling knobs)
     traversals: tuple[str, ...] = ("tiled",)
+    #: code-generation backends (names from :mod:`repro.backend.registry`);
+    #: backend choice never changes compiled semantics, so the default axis
+    #: stays singleton — widen it to also time e.g. ``aot_export`` builds
+    backends: tuple[str, ...] = ("numpy_jit",)
 
     def size(self) -> int:
         n = (
@@ -58,7 +62,7 @@ class TuningSpace:
         total = per_alpha * plain + per_alpha * hybrid * len(self.alphas)
         if "quickscorer" in self.traversals:
             total += 1
-        return total
+        return total * max(1, len(self.backends))
 
 
 def default_space(extended: bool = False, multicore: int = 1) -> TuningSpace:
@@ -72,24 +76,26 @@ def schedule_grid(space: TuningSpace | None = None, base: Schedule | None = None
     """Yield every schedule in ``space``, based on ``base`` for fixed fields."""
     space = space or default_space()
     base = base or Schedule()
-    if "quickscorer" in space.traversals:
-        yield base.with_(traversal="quickscorer")
-    for loop_order in space.loop_orders:
-        for layout in space.layouts:
-            for tile_size in space.tile_sizes:
-                for tiling in space.tilings:
-                    alphas = space.alphas if tiling == "hybrid" else (base.alpha,)
-                    for alpha in alphas:
-                        for pad in space.pad_and_unroll:
-                            for interleave in space.interleaves:
-                                yield base.with_(
-                                    loop_order=loop_order,
-                                    layout=layout,
-                                    tile_size=tile_size,
-                                    tiling=tiling,
-                                    alpha=alpha,
-                                    beta=space.beta,
-                                    pad_and_unroll=pad,
-                                    peel_walk=True,
-                                    interleave=interleave,
-                                )
+    for backend in space.backends or (base.backend,):
+        if "quickscorer" in space.traversals:
+            yield base.with_(traversal="quickscorer", backend=backend)
+        for loop_order in space.loop_orders:
+            for layout in space.layouts:
+                for tile_size in space.tile_sizes:
+                    for tiling in space.tilings:
+                        alphas = space.alphas if tiling == "hybrid" else (base.alpha,)
+                        for alpha in alphas:
+                            for pad in space.pad_and_unroll:
+                                for interleave in space.interleaves:
+                                    yield base.with_(
+                                        loop_order=loop_order,
+                                        layout=layout,
+                                        tile_size=tile_size,
+                                        tiling=tiling,
+                                        alpha=alpha,
+                                        beta=space.beta,
+                                        pad_and_unroll=pad,
+                                        peel_walk=True,
+                                        interleave=interleave,
+                                        backend=backend,
+                                    )

@@ -152,3 +152,26 @@ def model_fingerprint(forest: "Forest", schedule: "Schedule | None" = None) -> s
     if schedule is not None:
         digest.update(repr(schedule).encode())
     return digest.hexdigest()
+
+
+def predictor_cache_key(forest: "Forest", schedule: "Schedule") -> str:
+    """Backend-qualified key for caches that hold compiled *executors*.
+
+    :func:`model_fingerprint` deliberately excludes the backend name (the
+    backend choice never changes compiled semantics, and the schedule's
+    ``backend`` field is ``repr``-suppressed), but a cache of executors
+    must not: the same (forest, schedule) compiled under two backends are
+    distinct objects with different capabilities. Namespacing the
+    fingerprint by ``schedule.backend`` keeps them from colliding.
+    """
+    return f"{schedule.backend}:{model_fingerprint(forest, schedule)}"
+
+
+def artifact_cache_key(backend_name: str, fingerprint: str) -> str:
+    """Cache key for an executor loaded from an AOT artifact.
+
+    Mirrors :func:`predictor_cache_key`'s ``backend:fingerprint`` shape so
+    a loaded artifact and an in-process compile of the same (forest,
+    schedule) under the same backend share one cache slot.
+    """
+    return f"{backend_name}:{fingerprint}"

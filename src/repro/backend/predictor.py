@@ -1,23 +1,34 @@
 """The compiled predictor: Treebeard's ``predictForest`` entry point.
 
-A :class:`Predictor` owns the lowered module, the JIT-compiled kernel and
-the runtime policy (row blocking, parallel degree). It exposes raw margins
-(:meth:`raw_predict`) and objective-transformed predictions
-(:meth:`predict`), plus introspection hooks used heavily by the tests and
-experiments: the generated source, the LIR dump, and buffer footprints.
+Two layers live here:
+
+* :class:`KernelExecutor` — the runtime engine around one compiled
+  ``predict_block`` kernel: input validation, output allocation, row
+  blocking, parallel fan-out, per-thread scratch arenas, and the objective
+  transform. It needs only the kernel plus a handful of scalar facts
+  (feature/class counts, base score, dtypes, arena spec) — *not* the
+  forest or the lowered module — which is what lets the AOT loader
+  (:mod:`repro.backend.aot`) reconstitute a ready executor in a process
+  that never ran the compiler.
+* :class:`Predictor` — the in-process compile result: a
+  :class:`KernelExecutor` that also owns the source forest, the lowered
+  module, the compilation trace and the profiling recorder, and exposes
+  the introspection hooks used heavily by the tests and experiments
+  (generated source, LIR dump, buffer footprints).
 
 Arena-mode kernels (``Schedule.scratch == "arena"``) write their walk-step
 temporaries into a preallocated :class:`~repro.lir.memory.ScratchArena`.
-The predictor owns one arena *per thread* (created lazily in thread-local
+The executor owns one arena *per thread* (created lazily in thread-local
 storage), so parallel row blocks never share scratch; the weak registry
-behind :meth:`scratch_nbytes` tracks every live arena for footprint
-accounting without pinning arenas of dead threads.
+behind :meth:`KernelExecutor.scratch_nbytes` tracks every live arena for
+footprint accounting without pinning arenas of dead threads.
 """
 
 from __future__ import annotations
 
 import threading
 import weakref
+from typing import Callable
 
 import numpy as np
 
@@ -27,46 +38,42 @@ from repro.config import Schedule
 from repro.errors import ExecutionError
 from repro.forest.ensemble import Forest, sigmoid, softmax
 from repro.lir.ir import LIRModule
-from repro.lir.memory import ScratchArena, arena_spec
+from repro.lir.memory import ArenaSpec, ScratchArena, arena_spec
 from repro.observe.profile import ProfileRecorder
 from repro.observe.trace import CompilationTrace
 
 
-class Predictor:
-    """Executable inference function for one compiled model."""
+class KernelExecutor:
+    """Executable wrapper around one compiled ``predict_block`` kernel."""
+
+    #: registry name of the backend that produced this executor.
+    backend_name: str = "numpy_jit"
 
     def __init__(
         self,
-        forest: Forest,
-        lir: LIRModule,
+        kernel: Callable,
+        schedule: Schedule,
+        *,
+        num_features: int,
+        num_classes: int,
+        base_score: float,
+        objective: str = "regression",
         validate_inputs: bool = True,
-        trace: CompilationTrace | None = None,
+        arena: ArenaSpec | None = None,
+        source: str = "",
     ) -> None:
-        self.forest = forest
-        self.lir = lir
-        self.schedule: Schedule = lir.schedule
+        self.kernel = kernel
+        self.schedule = schedule
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.base_score = base_score
+        self.objective = objective
         self.validate_inputs = validate_inputs
-        #: the compilation trace this predictor was built under (None when
-        #: constructed outside ``compile_model``); see ``trace.report()``
-        self.trace = trace
-        self.profile_recorder = (
-            ProfileRecorder(
-                label=f"trees{forest.num_trees}-t{lir.schedule.tile_size}"
-                f"-{lir.schedule.tiling}-{lir.schedule.layout}"
-            )
-            if self.schedule.profile
-            else None
-        )
-        self.kernel, self.source = compile_lir(
-            lir, trace=trace, profile_recorder=self.profile_recorder
-        )
-        self._fingerprint: str | None = None
+        self.source = source
         self.input_dtype = (
-            np.float32 if self.schedule.precision == "float32" else np.float64
+            np.float32 if schedule.precision == "float32" else np.float64
         )
-        self.arena_spec = (
-            arena_spec(lir) if self.schedule.scratch == "arena" else None
-        )
+        self.arena_spec = arena
         self._tls = threading.local()
         self._arenas: "weakref.WeakSet[ScratchArena]" = weakref.WeakSet()
         self._arenas_lock = threading.Lock()
@@ -76,9 +83,9 @@ class Predictor:
     # ------------------------------------------------------------------
     def _check(self, rows: np.ndarray) -> np.ndarray:
         rows = np.asarray(rows)
-        if rows.ndim != 2 or rows.shape[1] != self.lir.num_features:
+        if rows.ndim != 2 or rows.shape[1] != self.num_features:
             raise ExecutionError(
-                f"rows must be (n, {self.lir.num_features}), got {rows.shape}"
+                f"rows must be (n, {self.num_features}), got {rows.shape}"
             )
         if rows.dtype != self.input_dtype or not rows.flags.c_contiguous:
             rows = np.ascontiguousarray(rows, dtype=self.input_dtype)
@@ -92,7 +99,7 @@ class Predictor:
         return rows
 
     def _alloc_out(self, n: int) -> np.ndarray:
-        return np.full((n, self.lir.num_classes), self.lir.base_score, dtype=np.float64)
+        return np.full((n, self.num_classes), self.base_score, dtype=np.float64)
 
     def _arena(self) -> ScratchArena | None:
         """This thread's scratch arena (lazily created), or None in alloc mode."""
@@ -122,7 +129,7 @@ class Predictor:
             parallel_predict(self._run_blocks, rows, out, threads)
         else:
             self._run_blocks(rows, out)
-        return out[:, 0] if self.lir.num_classes == 1 else out
+        return out[:, 0] if self.num_classes == 1 else out
 
     def _run_blocks(self, rows: np.ndarray, out: np.ndarray) -> None:
         arena = self._arena()
@@ -134,12 +141,72 @@ class Predictor:
     def predict(self, rows: np.ndarray, threads: int | None = None) -> np.ndarray:
         """Objective-transformed predictions (probabilities for classifiers)."""
         raw = self.raw_predict(rows, threads=threads)
-        if self.forest.objective == "binary:logistic":
+        if self.objective == "binary:logistic":
             return sigmoid(raw)
-        if self.forest.objective == "multiclass":
+        if self.objective == "multiclass":
             return softmax(raw)
         return raw
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def generated_source(self) -> str:
+        """The compiled Python/NumPy source of ``predict_block``."""
+        return self.source
+
+    def scratch_nbytes(self) -> int:
+        """Materialized scratch-arena footprint across all owning threads.
+
+        Zero for alloc-mode schedules and for arena-mode executors that
+        have not run yet (arenas are created lazily per thread).
+        """
+        with self._arenas_lock:
+            return sum(arena.nbytes() for arena in self._arenas)
+
+
+class Predictor(KernelExecutor):
+    """Executable inference function for one in-process compiled model."""
+
+    def __init__(
+        self,
+        forest: Forest,
+        lir: LIRModule,
+        validate_inputs: bool = True,
+        trace: CompilationTrace | None = None,
+    ) -> None:
+        self.forest = forest
+        self.lir = lir
+        #: the compilation trace this predictor was built under (None when
+        #: constructed outside ``compile_model``); see ``trace.report()``
+        self.trace = trace
+        self.profile_recorder = (
+            ProfileRecorder(
+                label=f"trees{forest.num_trees}-t{lir.schedule.tile_size}"
+                f"-{lir.schedule.tiling}-{lir.schedule.layout}"
+            )
+            if lir.schedule.profile
+            else None
+        )
+        kernel, source = compile_lir(
+            lir, trace=trace, profile_recorder=self.profile_recorder
+        )
+        super().__init__(
+            kernel,
+            lir.schedule,
+            num_features=lir.num_features,
+            num_classes=lir.num_classes,
+            base_score=lir.base_score,
+            objective=forest.objective,
+            validate_inputs=validate_inputs,
+            arena=arena_spec(lir) if lir.schedule.scratch == "arena" else None,
+            source=source,
+        )
+        self._fingerprint: str | None = None
+
+    # ------------------------------------------------------------------
+    # Inference (simulation path needs the LIR-aware block runner)
+    # ------------------------------------------------------------------
     def predict_simulated_parallel(
         self, rows: np.ndarray, cores: int, simulator: MulticoreSimulator | None = None
     ) -> tuple[np.ndarray, float]:
@@ -148,17 +215,12 @@ class Predictor:
         out = self._alloc_out(rows.shape[0])
         sim = simulator or MulticoreSimulator()
         _, seconds = sim.run(self._run_blocks, rows, out, cores)
-        raw = out[:, 0] if self.lir.num_classes == 1 else out
+        raw = out[:, 0] if self.num_classes == 1 else out
         return raw, seconds
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    @property
-    def generated_source(self) -> str:
-        """The JIT-compiled Python/NumPy source of ``predict_block``."""
-        return self.source
-
     @property
     def fingerprint(self) -> str:
         """Stable (model, schedule) content hash; the serving cache key."""
@@ -169,15 +231,6 @@ class Predictor:
     def memory_bytes(self) -> int:
         """Model-buffer footprint of the chosen in-memory representation."""
         return self.lir.total_nbytes()
-
-    def scratch_nbytes(self) -> int:
-        """Materialized scratch-arena footprint across all owning threads.
-
-        Zero for alloc-mode schedules and for arena-mode predictors that
-        have not run yet (arenas are created lazily per thread).
-        """
-        with self._arenas_lock:
-            return sum(arena.nbytes() for arena in self._arenas)
 
     def profile_counters(self) -> dict:
         """Aggregated kernel profiling counters across all threads.

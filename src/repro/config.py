@@ -11,7 +11,7 @@ compiled (the paper's "annotation" mechanism).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, fields, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
 from repro.errors import ScheduleError
 
@@ -126,6 +126,17 @@ class Schedule:
     #: to an unverified build — verification never changes what is
     #: compiled, only whether the compiler double-checks itself.
     verify: bool = False
+    #: which registered code-generation backend turns the lowered LIR into
+    #: an executable (:mod:`repro.backend.registry`): ``"numpy_jit"`` is
+    #: the in-process NumPy source + ``compile()`` path; ``"aot_export"``
+    #: builds the same kernel but supports serializing it to a
+    #: self-contained artifact (:mod:`repro.backend.aot`). Excluded from
+    #: ``repr`` on purpose: :func:`~repro.backend.jit.model_fingerprint`
+    #: hashes the schedule repr, and the backend choice never changes the
+    #: compiled semantics — executors compiled under different backends are
+    #: distinguished one level up by the backend-qualified predictor cache
+    #: key (:func:`~repro.backend.jit.predictor_cache_key`).
+    backend: str = field(default="numpy_jit", repr=False)
 
     def __post_init__(self) -> None:
         if not (1 <= self.tile_size <= 16):
@@ -152,6 +163,18 @@ class Schedule:
             raise ScheduleError(f"precision must be one of {PRECISIONS}")
         if self.scratch not in SCRATCH_MODES:
             raise ScheduleError(f"scratch must be one of {SCRATCH_MODES}")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ScheduleError(
+                f"backend must be a non-empty string, got {self.backend!r}"
+            )
+        # Resolve the backend name against the process-wide registry now,
+        # not at compile time: a schedule naming an unregistered backend is
+        # structurally invalid, exactly like an unknown tiling. Imported
+        # lazily — config is a leaf module the whole compiler depends on,
+        # while the registry sits in repro.backend.
+        from repro.backend.registry import require_backend
+
+        require_backend(self.backend)
 
     @classmethod
     def scalar_baseline(cls) -> "Schedule":

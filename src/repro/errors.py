@@ -44,6 +44,28 @@ class ScheduleError(CompilerError):
     """A compiler schedule (optimization configuration) is inconsistent."""
 
 
+class BackendError(CompilerError):
+    """A code-generation backend could not be resolved or registered.
+
+    Raised by the :mod:`repro.backend.registry` for an unknown
+    ``Schedule(backend=...)`` name, a duplicate registration, or a backend
+    object that does not satisfy the :class:`~repro.backend.registry.Backend`
+    interface. The message always lists the registered backend names so a
+    typo is diagnosable from the exception alone.
+    """
+
+
+class ArtifactError(BackendError):
+    """An AOT artifact is unreadable, corrupted, or version-incompatible.
+
+    Raised by :func:`repro.backend.aot.load_artifact` when a serialized
+    model artifact fails validation: missing files, a content hash that no
+    longer matches (corruption/truncation), or a format version this
+    build does not understand. Artifacts are rejected whole — a loader
+    never guesses at partially-valid state.
+    """
+
+
 class VerificationError(CompilerError):
     """A lowered module violates a cross-level IR invariant.
 

@@ -9,6 +9,9 @@ observability surface behind a single ``snapshot()`` / ``export_json()``:
   ``Schedule(profile=True)`` predictor
 * ``tunes``        — the most recent autotuning runs (bounded ring):
   winner schedule, budget outcome, cost-model rank correlation
+* ``backends``     — per-backend lifetime counters (compiles, artifact
+  exports/loads, artifact code-cache hits) recorded by the backend
+  registry dispatch and the AOT loader
 * ``serving``      — the metrics snapshot of every live ``ModelServer``
   (servers register on construction, unregister on close)
 * ``gauges``       — ad-hoc point-in-time providers registered by anyone
@@ -37,11 +40,12 @@ SNAPSHOT_KEYS = (
     "traces",
     "profiles",
     "tunes",
+    "backends",
     "serving",
     "gauges",
 )
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: recent compilation traces kept for the snapshot
 TRACE_RING_CAPACITY = 32
@@ -61,6 +65,7 @@ class Registry:
         self._traces_recorded = 0
         self._tunes: deque[dict] = deque(maxlen=TUNE_RING_CAPACITY)
         self._tunes_recorded = 0
+        self._backend_events: dict[str, dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -94,6 +99,13 @@ class Registry:
             self._tunes.append(jsonable(event))
             self._tunes_recorded += 1
 
+    def record_backend_event(self, backend: str, event: str, n: int = 1) -> None:
+        """Bump a lifetime counter for one backend (``compiles``,
+        ``artifact_loads``, ``artifact_exports``, ...)."""
+        with self._lock:
+            counters = self._backend_events.setdefault(backend, {})
+            counters[event] = counters.get(event, 0) + int(n)
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -108,6 +120,10 @@ class Registry:
             recorded = self._traces_recorded
             tunes = list(self._tunes)
             tunes_recorded = self._tunes_recorded
+            backends = {
+                name: dict(counters)
+                for name, counters in self._backend_events.items()
+            }
         return {
             "schema_version": SCHEMA_VERSION,
             "kernel_pool": _call_safe(pool_stats),
@@ -122,6 +138,7 @@ class Registry:
                 "kept": len(tunes),
                 "recent": tunes,
             },
+            "backends": backends,
             "serving": {name: _call_safe(fn) for name, fn in serving.items()},
             "gauges": {name: _call_safe(fn) for name, fn in gauges.items()},
         }
@@ -139,6 +156,7 @@ class Registry:
             self._traces_recorded = 0
             self._tunes.clear()
             self._tunes_recorded = 0
+            self._backend_events.clear()
 
     def __repr__(self) -> str:
         with self._lock:

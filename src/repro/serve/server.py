@@ -20,7 +20,7 @@ import numpy as np
 from repro.autotune.persist import ScheduleCache, default_cache_path
 from repro.autotune.search import autotune
 from repro.autotune.space import TuningSpace
-from repro.backend.jit import model_fingerprint
+from repro.backend.jit import predictor_cache_key
 from repro.backend.parallel import get_pool, pool_stats
 from repro.config import Schedule
 from repro.errors import ServingError
@@ -138,9 +138,10 @@ class ModelServer:
     def register(
         self,
         name: str,
-        forest: Forest,
+        forest: Forest | None = None,
         schedule: Schedule | None = None,
         *,
+        artifact: str | None = None,
         batching: BatchingPolicy | None | str = "inherit",
         threads: int | None | str = "inherit",
         tune: bool = False,
@@ -153,6 +154,15 @@ class ModelServer:
         fingerprint-identical model (under any name) reuses the cached
         predictor without recompiling.
 
+        ``artifact`` serves a pre-compiled AOT artifact directory (see
+        :func:`repro.backend.aot.export_artifact`) instead of compiling:
+        the kernel, buffers, and schedule are loaded from disk, so a warm
+        worker skips the compiler entirely. Mutually exclusive with
+        ``forest`` and ``tune`` — tuning needs the model structure, which
+        an artifact does not carry. A fingerprint-identical artifact
+        already resident in the cache is served from memory without even
+        reloading the buffers.
+
         With ``tune=True`` the session serves immediately on the cheap
         default (or given) schedule while a budget-aware autotune runs on
         the shared kernel pool in the background; when a faster schedule
@@ -164,6 +174,35 @@ class ModelServer:
         """
         if self._closed:
             raise ServingError("server is closed")
+        if artifact is not None:
+            if forest is not None:
+                raise ServingError(
+                    "register() takes a forest or an artifact, not both"
+                )
+            if tune:
+                raise ServingError(
+                    "tune=True needs the forest structure; artifacts carry "
+                    "only the compiled kernel — register the forest to tune"
+                )
+            predictor = self._load_artifact(artifact)
+            session = InferenceSession(
+                None,
+                predictor=predictor,
+                cache=self.cache,
+                metrics=self.metrics,
+                batching=self.config.batching if batching == "inherit" else batching,
+                threads=self.config.threads if threads == "inherit" else threads,
+                allow_fallback=self.config.allow_fallback,
+                validate_inputs=self.config.validate_inputs,
+            )
+            with self._lock:
+                old = self._sessions.get(name)
+                self._sessions[name] = session
+            if old is not None:
+                old.close()
+            return session
+        if forest is None:
+            raise ServingError("register() needs a forest or an artifact")
         session = InferenceSession(
             forest,
             schedule,
@@ -187,6 +226,21 @@ class ModelServer:
                 tune_rows = np.ascontiguousarray(tune_rows, dtype=np.float64)
             self._start_tune(name, session, tune_rows, tune_space)
         return session
+
+    def _load_artifact(self, path: str):
+        """Load an AOT artifact, serving from the predictor cache when a
+        fingerprint-identical executor is already resident."""
+        from repro.backend.aot import artifact_fingerprint, load_artifact
+        from repro.backend.jit import artifact_cache_key
+
+        key = artifact_cache_key("aot_export", artifact_fingerprint(path))
+        cached = self.cache.get(key)
+        if cached is not None:
+            observe_registry.record_backend_event(
+                "aot_export", "artifact_cache_hits"
+            )
+            return cached
+        return load_artifact(path, validate_inputs=self.config.validate_inputs)
 
     # ------------------------------------------------------------------
     # Background tuning
@@ -270,7 +324,7 @@ class ModelServer:
         with self._lock:
             current = self._sessions.get(name) is session and not self._closed
         if current and tuned_us < baseline_us * SWAP_THRESHOLD:
-            key = model_fingerprint(session.forest, result.best_schedule)
+            key = predictor_cache_key(session.forest, result.best_schedule)
             self.cache.put(key, result.best_predictor)
             session.swap_predictor(result.best_predictor, result.best_schedule)
             info["swapped"] = True

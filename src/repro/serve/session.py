@@ -16,7 +16,11 @@ import time
 import numpy as np
 
 from repro.api import compile_model
-from repro.backend.jit import model_fingerprint
+from repro.backend.jit import (
+    artifact_cache_key,
+    model_fingerprint,
+    predictor_cache_key,
+)
 from repro.config import Schedule
 from repro.errors import CompilerError, ServingError
 from repro.forest.ensemble import Forest, sigmoid, softmax
@@ -63,9 +67,10 @@ class InferenceSession:
 
     def __init__(
         self,
-        forest: Forest,
+        forest: Forest | None,
         schedule: Schedule | None = None,
         *,
+        predictor=None,
         cache: PredictorCache | None = None,
         metrics: ServingMetrics | None = None,
         batching: BatchingPolicy | None = None,
@@ -73,8 +78,9 @@ class InferenceSession:
         allow_fallback: bool = True,
         validate_inputs: bool = True,
     ) -> None:
+        if forest is None and predictor is None:
+            raise ServingError("a session needs a forest or a preloaded predictor")
         self.forest = forest
-        self.schedule = schedule or Schedule()
         self.metrics = metrics if metrics is not None else ServingMetrics()
         # NB: `cache or ...` would be wrong — an *empty* cache is falsy.
         self.cache = cache if cache is not None else PredictorCache(metrics=self.metrics)
@@ -82,10 +88,31 @@ class InferenceSession:
         self.allow_fallback = allow_fallback
         self.validate_inputs = validate_inputs
         self.fallback_error: CompilerError | None = None
-        self.fingerprint = model_fingerprint(forest, self.schedule)
-        self.predictor, self.cache_hit = self.cache.get_or_compile(
-            self.fingerprint, self._compile
-        )
+        if predictor is not None:
+            # Pre-built executor (an AOT artifact load, typically): serve
+            # it through the shared cache so a fingerprint-identical
+            # registration — loaded or compiled — shares one slot, but
+            # never invoke the compiler.
+            self.schedule = predictor.schedule
+            self.objective = getattr(predictor, "objective", "regression")
+            self.fingerprint = predictor.fingerprint
+            self.cache_key = artifact_cache_key(
+                getattr(predictor, "backend_name", self.schedule.backend),
+                predictor.fingerprint,
+            )
+            self.predictor, self.cache_hit = self.cache.get_or_compile(
+                self.cache_key, lambda: predictor
+            )
+        else:
+            self.schedule = schedule or Schedule()
+            self.objective = forest.objective
+            self.fingerprint = model_fingerprint(forest, self.schedule)
+            # Backend-qualified: the same (forest, schedule) compiled under
+            # two backends must not collide on one cache slot.
+            self.cache_key = predictor_cache_key(forest, self.schedule)
+            self.predictor, self.cache_hit = self.cache.get_or_compile(
+                self.cache_key, self._compile
+            )
         self._batcher: MicroBatcher | None = None
         if batching is not None:
             self._batcher = MicroBatcher(
@@ -134,8 +161,13 @@ class InferenceSession:
         """
         old = self.predictor
         if schedule is not None:
+            if self.forest is None:
+                raise ServingError(
+                    "cannot re-schedule an artifact-backed session (no forest)"
+                )
             self.schedule = schedule
             self.fingerprint = model_fingerprint(self.forest, schedule)
+            self.cache_key = predictor_cache_key(self.forest, schedule)
         self.predictor = predictor
         self.fallback_error = None
         self.metrics.record_hot_swap()
@@ -167,9 +199,9 @@ class InferenceSession:
     def predict(self, rows: np.ndarray) -> np.ndarray:
         """Objective-transformed predictions (probabilities for classifiers)."""
         raw = self.raw_predict(rows)
-        if self.forest.objective == "binary:logistic":
+        if self.objective == "binary:logistic":
             return sigmoid(raw)
-        if self.forest.objective == "multiclass":
+        if self.objective == "multiclass":
             return softmax(raw)
         return raw
 

@@ -23,6 +23,7 @@ mechanically, at two altitudes:
 with ``--smoke``).
 """
 
+from repro.verify.backends import compare_backend_case, run_backend_sweep
 from repro.verify.hir import verify_hir
 from repro.verify.lir import verify_lir_module
 from repro.verify.mir import verify_mir_module
@@ -47,4 +48,6 @@ __all__ = [
     "minimize_case",
     "random_fuzz_forest",
     "run_fuzz",
+    "compare_backend_case",
+    "run_backend_sweep",
 ]

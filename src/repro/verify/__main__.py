@@ -140,6 +140,13 @@ def main(argv: list[str] | None = None) -> int:
         "(the candidates the budgeted tuner compiles first)",
     )
     parser.add_argument(
+        "--backends",
+        action="store_true",
+        help="also cross-check every registered code-generation backend "
+        "against the interpreter (with an artifact round-trip for "
+        "export-capable backends)",
+    )
+    parser.add_argument(
         "--no-minimize", action="store_true", help="report failures without shrinking"
     )
     args = parser.parse_args(argv)
@@ -160,6 +167,11 @@ def main(argv: list[str] | None = None) -> int:
             seeds=(args.seed,), top_k=top_k, log=print
         )
         grid_failures += sweep_failures
+    if args.backends:
+        from repro.verify.backends import run_backend_sweep
+
+        _, backend_failures = run_backend_sweep(seeds=(args.seed,), log=print)
+        grid_failures += backend_failures
 
     config = FuzzConfig(
         cases=cases,

@@ -256,7 +256,20 @@ class TestRegistry:
     def test_snapshot_schema_is_stable(self):
         snap = Registry().snapshot()
         assert tuple(snap.keys()) == SNAPSHOT_KEYS
-        assert snap["schema_version"] == 2
+        assert snap["schema_version"] == 3
+
+    def test_backend_events_accumulate(self):
+        reg = Registry()
+        reg.record_backend_event("numpy_jit", "compiles")
+        reg.record_backend_event("numpy_jit", "compiles", 2)
+        reg.record_backend_event("aot_export", "artifact_loads")
+        snap = reg.snapshot()
+        assert snap["backends"] == {
+            "numpy_jit": {"compiles": 3},
+            "aot_export": {"artifact_loads": 1},
+        }
+        reg.clear()
+        assert reg.snapshot()["backends"] == {}
 
     def test_tune_ring_records_and_bounds(self):
         reg = Registry()
