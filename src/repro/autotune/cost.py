@@ -41,7 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import Schedule
+from repro.config import QUANTIZED_PRECISIONS, Schedule
 from repro.forest.ensemble import Forest
 from repro.perf.machine import INTEL_ROCKET_LAKE_LIKE, MachineProfile
 
@@ -105,6 +105,17 @@ _DISPATCH_WEIGHT = 40.0
 _OPS_PER_STEP = 6.0
 #: per-batch fixed cost (kernel entry, arena binding), in dispatch units
 _BATCH_FIXED = 25.0 * _DISPATCH_WEIGHT
+
+#: model bytes per node by precision: float64 keeps the historical 24/14
+#: split (8-byte threshold + index + child words vs float32's packed
+#: forms); quantized modes shrink only the threshold/leaf words — the
+#: int64 structure words (child_base, shape ids, LUT) do not narrow.
+_BYTES_PER_NODE = {
+    "float64": 24,
+    "float32": 14,
+    "int16": 10,
+    "int8": 9,
+}
 
 
 def predict_cost(
@@ -174,7 +185,7 @@ def predict_cost(
     per_step = (step_dispatch / j_eff + lane_work) * tail_waste
 
     # --- memory footprint / layout -------------------------------------
-    bytes_per_node = 24 if schedule.precision == "float64" else 14
+    bytes_per_node = _BYTES_PER_NODE.get(schedule.precision, 24)
     footprint = profile.total_nodes * bytes_per_node
     if schedule.layout == "array":
         # Array layout materializes complete levels: near-balanced trees
@@ -199,6 +210,11 @@ def predict_cost(
 
     cost = profile.num_trees * steps_per_tree * per_step * per_row_scale
     cost += _BATCH_FIXED / batch
+    if schedule.precision in QUANTIZED_PRECISIONS:
+        # Rank-coding prologue: one searchsorted dispatch per feature per
+        # batch, plus ~log2(cuts) binary-search lane work per element per
+        # row. Amortizes away at serving batch sizes; visible at batch 1.
+        cost += profile.num_features * (_DISPATCH_WEIGHT / batch + 7.0)
     if schedule.parallel > 1:
         cost /= min(schedule.parallel, machine.cores) ** 0.8
     return cost / max(1, profile.num_trees)

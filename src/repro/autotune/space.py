@@ -38,6 +38,10 @@ class TuningSpace:
     alphas: tuple[float, ...] = (0.05, 0.075, 0.1)
     layouts: tuple[str, ...] = ("sparse", "array")
     beta: float = 0.9
+    #: numeric representations to explore; the default stays float64-only
+    #: (quantized kernels trade bounded leaf rounding for footprint, an
+    #: accuracy decision the user opts into rather than the tuner)
+    precisions: tuple[str, ...] = ("float64",)
     #: traversal strategies; add "quickscorer" to explore the Section VII
     #: alternative (one grid point — it has no tiling knobs)
     traversals: tuple[str, ...] = ("tiled",)
@@ -54,6 +58,7 @@ class TuningSpace:
             * len(self.pad_and_unroll)
             * len(self.interleaves)
             * len(self.layouts)
+            * max(1, len(self.precisions))
         )
         # Alphas only matter for the hybrid tiling points.
         hybrid = sum(1 for t in self.tilings if t == "hybrid")
@@ -78,24 +83,30 @@ def schedule_grid(space: TuningSpace | None = None, base: Schedule | None = None
     base = base or Schedule()
     for backend in space.backends or (base.backend,):
         if "quickscorer" in space.traversals:
+            # The bitvector strategy rejects quantized precisions, so its
+            # single grid point keeps the base precision.
             yield base.with_(traversal="quickscorer", backend=backend)
-        for loop_order in space.loop_orders:
-            for layout in space.layouts:
-                for tile_size in space.tile_sizes:
-                    for tiling in space.tilings:
-                        alphas = space.alphas if tiling == "hybrid" else (base.alpha,)
-                        for alpha in alphas:
-                            for pad in space.pad_and_unroll:
-                                for interleave in space.interleaves:
-                                    yield base.with_(
-                                        loop_order=loop_order,
-                                        layout=layout,
-                                        tile_size=tile_size,
-                                        tiling=tiling,
-                                        alpha=alpha,
-                                        beta=space.beta,
-                                        pad_and_unroll=pad,
-                                        peel_walk=True,
-                                        interleave=interleave,
-                                        backend=backend,
-                                    )
+        for precision in space.precisions or (base.precision,):
+            for loop_order in space.loop_orders:
+                for layout in space.layouts:
+                    for tile_size in space.tile_sizes:
+                        for tiling in space.tilings:
+                            alphas = (
+                                space.alphas if tiling == "hybrid" else (base.alpha,)
+                            )
+                            for alpha in alphas:
+                                for pad in space.pad_and_unroll:
+                                    for interleave in space.interleaves:
+                                        yield base.with_(
+                                            precision=precision,
+                                            loop_order=loop_order,
+                                            layout=layout,
+                                            tile_size=tile_size,
+                                            tiling=tiling,
+                                            alpha=alpha,
+                                            beta=space.beta,
+                                            pad_and_unroll=pad,
+                                            peel_walk=True,
+                                            interleave=interleave,
+                                            backend=backend,
+                                        )

@@ -53,8 +53,10 @@ from repro.observe.profile import ProfileRecorder
 
 #: bump on any incompatible change to the artifact layout or manifest
 #: schema; loaders reject every other version (see DESIGN.md for the
-#: versioning rules).
-ARTIFACT_FORMAT_VERSION = 1
+#: versioning rules). Version 2: arena specs carry ``acc_dtype``,
+#: quantized models ship cut tables / leaf-code buffers and a
+#: ``quantization`` manifest summary.
+ARTIFACT_FORMAT_VERSION = 2
 
 MANIFEST_NAME = "MANIFEST.json"
 KERNEL_NAME = "kernel.py"
@@ -164,6 +166,7 @@ def export_artifact(
             "objective": predictor.forest.objective,
         },
         "arena": asdict(predictor.arena_spec) if predictor.arena_spec else None,
+        "quantization": lir.quant.describe() if lir.quant is not None else None,
         "buffers": buffers,
         "files": files,
     }

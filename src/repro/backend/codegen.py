@@ -41,7 +41,17 @@ Two temporary-buffer policies exist, selected by ``Schedule.scratch``:
 threshold/feature/leaf/one-hot buffers (and the input rows) are float32 and
 the feature-index buffer is int32, halving model-buffer memory traffic
 (the paper's element-width discussion). The output accumulator stays
-float64 regardless.
+float64 regardless. Under the integer modes ``"int16"``/``"int8"``
+(:mod:`repro.lir.quantize`) the kernel grows a prologue that rank-codes
+the incoming batch once per feature (``searchsorted`` against the
+compiled cut tables), the walk compares/gathers int16/int8 codes, leaf
+codes accumulate into a float64 ``qacc`` (integer sums below 2**53 are
+exact in a double, and carrying the codes in float buffers lets the chunk
+matmul use BLAS instead of NumPy's slow integer loop — see
+:func:`repro.lir.memory.quant_mm_dtype`), and one boundary statement
+rescales: ``out += qacc * _qs``. Threshold routing under quantization is
+*exact* (rank codes preserve every comparison), so only the fixed-point
+leaf rounding separates quantized output from the float64 reference.
 
 Walk styles lower differently: ``unrolled`` emits straight-line step
 sequences with no termination checks; ``peeled`` emits check-free prologue
@@ -63,9 +73,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config import PRECISION_TABLE
 from repro.errors import CodegenError
 from repro.lir.ir import LIRGroup, LIRModule
-from repro.lir.memory import ScratchArena, arena_spec
+from repro.lir.memory import ScratchArena, arena_spec, quant_mm_dtype
 from repro.observe.profile import ProfileRecorder
 
 
@@ -175,9 +186,12 @@ class _GroupEmitter:
 
     def _scratch_bytes_per_elem(self, full: bool) -> int:
         """Bytes of arena views bound per working-set element (compile-time
-        constant, so the emitted increment is one multiply)."""
-        fsize = 4 if self.lir.schedule.precision == "float32" else 8
-        isize = 4 if self.lir.schedule.precision == "float32" else 8
+        constant, so the emitted increment is one multiply). Element and
+        feature-index widths come from the schedule precision table — the
+        same source of truth :func:`~repro.lir.memory.arena_spec` sizes
+        the arena from."""
+        info = PRECISION_TABLE[self.lir.schedule.precision]
+        fsize, isize = info.element_size, info.findex_size
         per = self.width * (2 * fsize + isize + 1)      # thr, feat, fidx, cmp
         if self.vec:
             per += self.width * 8                       # gidx
@@ -216,9 +230,14 @@ class _GroupEmitter:
 
     def bind_vals(self) -> None:
         """Bind the leaf-value view at full working-set shape (the final
-        loads run after compaction loops may have shadowed the views)."""
+        loads run after compaction loops may have shadowed the views).
+
+        Quantized modules bind the dedicated ``qv`` buffer: leaf codes are
+        float-carried (exact integers) so the chunk matmul hits BLAS, and
+        the element-dtype ``f1`` view cannot hold them."""
+        buf = "qv" if self.lir.quant is not None else "f1"
         self.e.emit(
-            f"vals = _A.f1[:{self._full_n}].reshape({self._full_shape})"
+            f"vals = _A.{buf}[:{self._full_n}].reshape({self._full_shape})"
         )
 
     def _rebind_idx(self) -> None:
@@ -648,6 +667,8 @@ def emit_module_source(lir: LIRModule) -> str:
     e = _Emitter()
     one_row = lir.mir.loop_order == "one-row"
     arena = lir.schedule.scratch == "arena"
+    quant = lir.quant
+    F, C = lir.num_features, lir.num_classes
     e.emit('"""Generated by repro.backend.codegen — do not edit."""')
     with e.block("def predict_block(rows, out, arena=None):"):
         e.emit("B = rows.shape[0]")
@@ -662,22 +683,52 @@ def emit_module_source(lir: LIRModule) -> str:
             with e.block("if arena is None:"):
                 e.emit("arena = _new_arena()")
             e.emit("_A = arena.ensure(B)")
+        if quant is not None:
+            # Input pre-quantization prologue: one searchsorted against the
+            # per-feature cut table turns each float column into rank codes
+            # once per batch; the walk below is integer-only after this.
+            if arena and not one_row:
+                e.emit(f"qrows = _A.qr[:B * {F}].reshape(B, {F})")
+            else:
+                e.emit(f"qrows = _np.empty((B, {F}), dtype=_np.{quant.dtype})")
+            with e.block(f"for f in range({F}):"):
+                e.emit(
+                    "qrows[:, f] = _np.searchsorted("
+                    "_qc[_qo[f]:_qo[f + 1]], rows[:, f], side='right')"
+                )
         if not one_row:
-            e.emit("rowsf = rows.reshape(-1)")
+            e.emit("rowsf = qrows.reshape(-1)" if quant is not None
+                   else "rowsf = rows.reshape(-1)")
             if arena:
                 e.emit("rof0 = _A.rof0[:B]")
             else:
                 e.emit(f"rof0 = _np.arange(B, dtype=_np.int64) * {lir.num_features}")
             e.emit("rof = rof0[:, None, None]")
+            if quant is not None:
+                # Leaf codes accumulate exactly in float64 (integral sums
+                # of T trees of |code| <= qmax sit far below 2**53); one
+                # rescale at the boundary below.
+                if arena:
+                    e.emit(f"qacc = _A.qa[:B * {C}].reshape(B, {C})")
+                    e.emit("qacc[...] = 0")
+                else:
+                    e.emit(f"qacc = _np.zeros((B, {C}))")
             e.emit()
             for group in lir.groups:
-                _emit_group(e, lir, group, vec=True, target="out")
+                _emit_group(
+                    e, lir, group, vec=True,
+                    target="out" if quant is None else "qacc",
+                )
         else:
+            if quant is not None:
+                e.emit(f"qacc = _np.zeros((B, {C}))")
             with e.block("for i in range(B):"):
-                e.emit("row = rows[i]")
-                e.emit("acc = out[i]")
+                e.emit("row = qrows[i]" if quant is not None else "row = rows[i]")
+                e.emit("acc = qacc[i]" if quant is not None else "acc = out[i]")
                 for group in lir.groups:
                     _emit_group(e, lir, group, vec=False, target="acc")
+        if quant is not None:
+            e.emit("out += qacc * _qs")
         e.emit("return out")
     return e.source()
 
@@ -695,9 +746,18 @@ def build_namespace(lir: LIRModule, profile_recorder: ProfileRecorder | None = N
     get ``_new_arena``, the fallback scratch factory for direct kernel
     calls.
     """
-    fdt = np.float32 if lir.schedule.precision == "float32" else np.float64
-    idt = np.int32 if lir.schedule.precision == "float32" else np.int64
+    info = PRECISION_TABLE[lir.schedule.precision]
+    fdt = np.dtype(info.element_dtype)
+    idt = np.dtype(info.findex_dtype)
+    quant = lir.quant
     ns: dict = {"_np": np, "lut": np.ascontiguousarray(lir.lut, dtype=np.int64).reshape(-1)}
+    if quant is not None:
+        # Row-quantization tables (the kernel prologue) and the boundary
+        # rescale. The scale is a 0-d array so AOT export serializes it
+        # like every other namespace buffer.
+        ns["_qc"] = np.ascontiguousarray(quant.cuts, dtype=np.float64)
+        ns["_qo"] = np.ascontiguousarray(quant.cut_offsets, dtype=np.int64)
+        ns["_qs"] = np.asarray(quant.leaf_scale, dtype=np.float64)
     if lir.schedule.scratch == "arena":
         spec = arena_spec(lir)
         ns["_new_arena"] = lambda spec=spec: ScratchArena(spec)
@@ -705,6 +765,9 @@ def build_namespace(lir: LIRModule, profile_recorder: ProfileRecorder | None = N
         # The kernel's `_C = _P.local()` resolves against this recorder;
         # the predictor keeps a reference for aggregation.
         ns["_P"] = profile_recorder if profile_recorder is not None else ProfileRecorder()
+    # Quantized leaf codes and one-hots are float-carried exact integers
+    # so the chunk matmul dispatches to BLAS (see quant_mm_dtype).
+    mmdt = np.dtype(quant_mm_dtype(lir))
     dummy_sid = lir.dummy_shape_id
     has_dummy = dummy_sid is not None
     single_real = lir.lut.shape[0] - (1 if has_dummy else 0) == 1
@@ -718,20 +781,40 @@ def build_namespace(lir: LIRModule, profile_recorder: ProfileRecorder | None = N
         layout = group.layout
         num_classes = lir.num_classes
         if group.trivial:
-            const = np.zeros(num_classes, dtype=np.float64)
+            # Quantized modules fold trivial trees as summed leaf codes so
+            # they accumulate with the walk's integer codes and share the
+            # single boundary rescale (int64 here; the float64 qacc takes
+            # the upcast exactly).
             if layout.kind == "sparse":
                 values = layout.leaves[:, 0]
             else:
                 values = layout.leaf_values[:, 0]
-            np.add.at(const, layout.class_ids, values)
+            if quant is not None:
+                const = np.zeros(num_classes, dtype=np.int64)
+                np.add.at(
+                    const, layout.class_ids,
+                    quant.quantize_leaves(values).astype(np.int64),
+                )
+            else:
+                const = np.zeros(num_classes, dtype=np.float64)
+                np.add.at(const, layout.class_ids, values)
             ns[f"{g}_const"] = const
             continue
         k, tiles, width = layout.thresholds.shape
         if width > 8:
             ns["p2"] = (1 << np.arange(width, dtype=np.uint32))
-        ns[f"{g}_th"] = np.ascontiguousarray(
-            layout.thresholds.reshape(k * tiles, width), dtype=fdt
-        )
+        if quant is not None:
+            # Thresholds become per-feature rank codes (+inf padding maps
+            # to the dtype-max sentinel) — routing stays exactly float64's.
+            ns[f"{g}_th"] = np.ascontiguousarray(
+                quant.quantize_thresholds(
+                    layout.thresholds, layout.features
+                ).reshape(k * tiles, width)
+            )
+        else:
+            ns[f"{g}_th"] = np.ascontiguousarray(
+                layout.thresholds.reshape(k * tiles, width), dtype=fdt
+            )
         ns[f"{g}_fi"] = np.ascontiguousarray(
             layout.features.reshape(k * tiles, width), dtype=idt
         )
@@ -743,18 +826,30 @@ def build_namespace(lir: LIRModule, profile_recorder: ProfileRecorder | None = N
                 layout.shape_ids.reshape(-1) != dummy_sid
             ).astype(np.int64)
         ns[f"{g}_laneT"] = np.arange(k, dtype=np.int64) * tiles
+
+        def _leaf_buf(values: np.ndarray) -> np.ndarray:
+            if quant is not None:
+                # Codes are bounded by qmax, so the float carrier is exact.
+                return np.ascontiguousarray(
+                    quant.quantize_leaves(values), dtype=mmdt
+                )
+            return np.ascontiguousarray(values, dtype=fdt)
+
         if layout.kind == "sparse":
             ns[f"{g}_cb"] = layout.child_base.reshape(-1).astype(np.int64)
             leaves = layout.leaves
-            ns[f"{g}_lv"] = np.ascontiguousarray(leaves.reshape(-1), dtype=fdt)
+            ns[f"{g}_lv"] = _leaf_buf(leaves.reshape(-1))
             ns[f"{g}_laneL"] = np.arange(k, dtype=np.int64) * leaves.shape[1]
         else:
-            ns[f"{g}_lv"] = np.ascontiguousarray(
-                layout.leaf_values.reshape(-1), dtype=fdt
-            )
+            ns[f"{g}_lv"] = _leaf_buf(layout.leaf_values.reshape(-1))
             # Array layout leaf offsets coincide with tile offsets (per-slot
             # leaf values), so laneT doubles as the value base.
-        onehot = np.zeros((layout.num_trees, num_classes), dtype=fdt)
-        onehot[np.arange(layout.num_trees), layout.class_ids] = 1.0
+        # Quantized one-hots share the float matmul dtype: 0/1 weights are
+        # exact in any float, and matching dtypes keep the matmul on BLAS.
+        onehot = np.zeros(
+            (layout.num_trees, num_classes),
+            dtype=mmdt if quant is not None else fdt,
+        )
+        onehot[np.arange(layout.num_trees), layout.class_ids] = 1
         ns[f"{g}_oh"] = onehot
     return ns

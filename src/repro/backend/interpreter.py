@@ -10,7 +10,12 @@ Precision: the interpreter honours ``lir.schedule.precision`` the same way
 the backend does — under ``"float32"`` rows, thresholds and leaf values are
 rounded to float32 before comparing/accumulating, so a feature that lands
 exactly on a threshold routes identically in both executors. The
-accumulator stays float64, as in the kernel.
+accumulator stays float64, as in the kernel. Under the quantized modes
+(``"int16"``/``"int8"``) routing runs at float64 — rank-coded thresholds
+preserve every comparison exactly, so the float64 walk visits the same
+leaves the integer kernel does — while leaf values accumulate as their
+fixed-point *codes* in int64 with one boundary rescale, reproducing the
+kernel's integer accumulation bit for bit.
 """
 
 from __future__ import annotations
@@ -76,11 +81,17 @@ def interpret_lir(lir: LIRModule, rows: np.ndarray) -> np.ndarray:
 
     Returns the raw margin array shaped ``(B, num_classes)``.
     """
+    quant = lir.quant
     fdt = np.dtype(
         np.float32 if lir.schedule.precision == "float32" else np.float64
     )
-    rows = np.ascontiguousarray(rows, dtype=fdt)
+    rows = np.ascontiguousarray(rows, dtype=np.float64 if quant is not None else fdt)
     out = np.full((rows.shape[0], lir.num_classes), lir.base_score, dtype=np.float64)
+    qacc = (
+        np.zeros((rows.shape[0], lir.num_classes), dtype=np.int64)
+        if quant is not None
+        else None
+    )
     walk = {"sparse": _walk_sparse, "array": _walk_array}
     for group in lir.groups:
         layout = group.layout
@@ -94,5 +105,12 @@ def interpret_lir(lir: LIRModule, rows: np.ndarray) -> np.ndarray:
                         value = float(layout.leaf_values[lane, 0].astype(fdt))
                 else:
                     value = step(group, lir.lut, lane, row, fdt)
-                out[i, int(group.class_ids[lane])] += value
+                if quant is not None:
+                    qacc[i, int(group.class_ids[lane])] += int(
+                        quant.quantize_leaves(value)
+                    )
+                else:
+                    out[i, int(group.class_ids[lane])] += value
+    if quant is not None:
+        out += qacc * np.float64(quant.leaf_scale)
     return out

@@ -70,6 +70,9 @@ class KernelExecutor:
         self.objective = objective
         self.validate_inputs = validate_inputs
         self.source = source
+        # Quantized kernels keep float64 input: rows are rank-coded inside
+        # the kernel against float64 cut tables, so callers never see the
+        # integer representation.
         self.input_dtype = (
             np.float32 if schedule.precision == "float32" else np.float64
         )
@@ -229,7 +232,16 @@ class Predictor(KernelExecutor):
         return self._fingerprint
 
     def memory_bytes(self) -> int:
-        """Model-buffer footprint of the chosen in-memory representation."""
+        """Model-buffer footprint of the chosen in-memory representation.
+
+        Quantized modules report the materialized kernel buffers (narrow
+        int codes + cut tables) so serving gauges and benchmarks see the
+        savings; float modules keep the historical layout accounting.
+        """
+        if self.lir.quant is not None:
+            from repro.lir.memory import compiled_model_nbytes
+
+            return compiled_model_nbytes(self.lir)
         return self.lir.total_nbytes()
 
     def profile_counters(self) -> dict:

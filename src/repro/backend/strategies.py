@@ -13,8 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.quickscorer import QuickScorerPredictor
-from repro.config import Schedule
-from repro.errors import ExecutionError
+from repro.config import QUANTIZED_PRECISIONS, Schedule
+from repro.errors import CodegenError, ExecutionError
 from repro.forest.ensemble import Forest, sigmoid, softmax
 
 
@@ -28,6 +28,14 @@ class QuickScorerStrategyPredictor:
     """
 
     def __init__(self, forest: Forest, schedule: Schedule, validate_inputs: bool = True) -> None:
+        if schedule.precision in QUANTIZED_PRECISIONS:
+            # The bitvector strategy compares float thresholds directly;
+            # silently ignoring the precision knob would change numerics
+            # relative to the quantized tiled kernels it is swept against.
+            raise CodegenError(
+                "quickscorer traversal does not support quantized "
+                f"precision {schedule.precision!r}; use the tiled traversal"
+            )
         self.forest = forest
         self.schedule = schedule
         self.validate_inputs = validate_inputs

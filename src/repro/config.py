@@ -19,8 +19,53 @@ TILINGS = ("basic", "probability", "hybrid", "optimal")
 LOOP_ORDERS = ("one-tree", "one-row")
 LAYOUTS = ("array", "sparse")
 TRAVERSALS = ("tiled", "quickscorer")
-PRECISIONS = ("float64", "float32")
 SCRATCH_MODES = ("arena", "alloc")
+
+
+@dataclass(frozen=True)
+class PrecisionInfo:
+    """Element widths and dtypes implied by one ``Schedule.precision`` value.
+
+    This table is the single source of truth for how a precision choice
+    sizes model buffers and scratch arenas: the element dtype of
+    threshold/leaf buffers and lane temporaries, the feature-index dtype,
+    the dtype chunk matmuls accumulate in, and whether the mode is an
+    integer-quantized one (rank-coded thresholds + fixed-point leaves,
+    see :mod:`repro.lir.quantize`). Sizes are stored as plain ints so this
+    leaf module never imports numpy.
+    """
+
+    #: dtype of thresholds, leaf values, and per-lane walk temporaries
+    element_dtype: str
+    #: dtype of the per-lane feature-index buffer
+    findex_dtype: str
+    #: dtype the per-chunk ``vals @ onehot`` accumulation runs in
+    acc_dtype: str
+    #: True for integer-quantized modes (int16/int8)
+    quantized: bool
+    #: sizeof(element_dtype) in bytes
+    element_size: int
+    #: sizeof(findex_dtype) in bytes
+    findex_size: int
+    #: sizeof(acc_dtype) in bytes
+    acc_size: int
+
+
+#: precision name -> widths/dtypes (see :class:`PrecisionInfo`). Quantized
+#: modes accumulate leaf *codes* exactly in a float64 accumulator (integer
+#: values below 2**53 are exact in a double, and BLAS does the chunk
+#: matmul an order of magnitude faster than NumPy's integer fallback) and
+#: rescale once at the boundary; their feature indices narrow to int16
+#: (the compiler validates ``num_features`` fits).
+PRECISION_TABLE = {
+    "float64": PrecisionInfo("float64", "int64", "float64", False, 8, 8, 8),
+    "float32": PrecisionInfo("float32", "int32", "float32", False, 4, 4, 4),
+    "int16": PrecisionInfo("int16", "int16", "float64", True, 2, 2, 8),
+    "int8": PrecisionInfo("int8", "int16", "float64", True, 1, 2, 8),
+}
+PRECISIONS = tuple(PRECISION_TABLE)
+#: the integer-quantized subset of :data:`PRECISIONS`
+QUANTIZED_PRECISIONS = tuple(p for p, i in PRECISION_TABLE.items() if i.quantized)
 
 
 @dataclass(frozen=True)
@@ -98,6 +143,12 @@ class Schedule:
     #: numerics; ``"float32"`` halves threshold/feature/leaf buffer
     #: footprint and memory traffic and narrows the feature-index buffer to
     #: int32, at ~1e-7 relative rounding of the emitted margins.
+    #: ``"int16"`` / ``"int8"`` are the integer-only quantized modes
+    #: (InTreeger direction): thresholds become per-feature rank codes —
+    #: routing is *exactly* the float64 routing, see
+    #: :mod:`repro.lir.quantize` — and leaves become fixed-point codes with
+    #: one per-forest scale, so the whole walk runs on integer compares and
+    #: integer gathers with a single rescale at the boundary.
     precision: str = "float64"
     #: temporary-buffer policy of the emitted kernel: ``"arena"`` writes
     #: every walk-step temporary into a preallocated per-thread scratch

@@ -36,6 +36,18 @@ class LayoutError(CompilerError):
     """A tiled tree could not be materialized into an in-memory layout."""
 
 
+class QuantizationError(LoweringError):
+    """A model cannot be quantized to the requested integer precision.
+
+    Raised by :func:`repro.lir.quantize.build_quantization` when a model
+    exceeds the capacity of the target code dtype — more distinct
+    thresholds on one feature than the dtype can rank-code, too many
+    features for the narrowed index buffers — or contains non-finite leaf
+    values that fixed-point leaf codes cannot represent. The message names
+    the offending feature/limit and the precision that would fit.
+    """
+
+
 class CodegenError(CompilerError):
     """Generated source failed to compile or validate."""
 

@@ -59,6 +59,10 @@ class LIRModule:
     #: has no dummy tiles. Lets the backend specialize on the number of
     #: *real* shapes while keeping dummy routing data-independent.
     dummy_shape_id: int | None = None
+    #: integer-quantization tables (rank-coded thresholds + fixed-point
+    #: leaf scale) attached by the quantization pass; None for float
+    #: precisions. See :mod:`repro.lir.quantize`.
+    quant: object | None = None
     pass_log: list[str] = field(default_factory=list)
 
     @property

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config import PRECISION_TABLE
 from repro.errors import LoweringError
 from repro.hir.ir import HIRModule
 from repro.lir.ir import LIRGroup, LIRModule
@@ -74,5 +75,14 @@ def lower_mir_to_lir(
         base_score=forest.base_score,
         pass_log=list(mir.pass_log) + ["lower_mir_to_lir"],
     )
+    if PRECISION_TABLE[schedule.precision].quantized:
+        # Integer precisions: attach the rank-coded threshold tables and
+        # the fixed-point leaf scale the backend quantizes buffers with.
+        from repro.lir.quantize import build_quantization
+
+        with trace.span("quantize") as quant_span:
+            module.quant = build_quantization(module)
+            quant_span.stats.update(module.quant.describe())
+        module.pass_log.append("quantize")
     layout_span.stats.update(lir_stats(module))
     return module

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import Schedule
+from repro.config import PRECISION_TABLE, Schedule
 from repro.forest.ensemble import Forest
 from repro.hir.ir import build_hir
 from repro.lir.lowering import lower_mir_to_lir
@@ -35,6 +35,40 @@ def layout_nbytes(forest: Forest, schedule: Schedule) -> int:
     mir = run_mir_pipeline(lower_hir_to_mir(hir), hir)
     lir = lower_mir_to_lir(mir, hir)
     return lir.total_nbytes()
+
+
+def compiled_model_nbytes(lir) -> int:
+    """Bytes of the model buffers the compiled kernel actually gathers
+    from — the materialized JIT namespace (thresholds, feature indices,
+    shape ids, child pointers, leaf values, one-hots, LUT, and the
+    quantization cut tables under int precisions), at the element widths
+    ``Schedule.precision`` implies. Unlike :func:`layout_nbytes`, which
+    reports the float64 layout representation, this reflects the
+    narrowing that float32/int16/int8 modes buy."""
+    from repro.backend.codegen import build_namespace  # codegen imports us
+
+    ns = build_namespace(lir)
+    return int(
+        sum(a.nbytes for a in ns.values() if isinstance(a, np.ndarray))
+    )
+
+
+def quantized_param_nbytes(lir) -> tuple[int, int]:
+    """``(threshold_bytes, leaf_bytes)`` of the parameter buffers the walk
+    compares/gathers per step, at the precision's element width — the
+    buffers integer quantization narrows (structure buffers reported by
+    :func:`compiled_model_nbytes` are unchanged by it)."""
+    esize = PRECISION_TABLE[lir.schedule.precision].element_size
+    thr = leaves = 0
+    for group in lir.groups:
+        layout = group.layout
+        if not group.trivial:
+            thr += layout.thresholds.size * esize
+        if layout.kind == "sparse":
+            leaves += layout.leaves.size * esize
+        else:
+            leaves += layout.leaf_values.size * esize
+    return thr, leaves
 
 
 #: bytes per node of the compact scalar (untiled) representation: threshold
@@ -126,10 +160,28 @@ class ArenaSpec:
         Compile-time rows-per-invocation hint (0 = size lazily on the
         first call).
     float_dtype:
-        dtype name of float temporaries (the schedule's ``precision``).
+        dtype name of the element temporaries (thresholds/features/leaf
+        values) — the schedule precision's element dtype from
+        :data:`~repro.config.PRECISION_TABLE`; int16/int8 under the
+        quantized modes.
     findex_dtype:
         dtype name of the feature-index temporary (matches the model's
         feature-index buffer).
+    acc_dtype:
+        dtype of the whole-batch accumulator: the element float dtype for
+        float precisions, float64 for quantized modes (integer leaf-code
+        sums below 2**53 are exact in a double; see ``mm_dtype``).
+    mm_dtype:
+        dtype the per-chunk ``vals @ onehot`` matmul runs in. Quantized
+        modes carry leaf *codes* in a float buffer so the chunk matmul
+        hits BLAS instead of NumPy's much slower integer loop: float32
+        when the largest chunk's worst-case code sum fits float32's
+        integer range (``max_scalar * qmax < 2**24``), float64 otherwise.
+        Either way every value is an exact integer.
+    quantized:
+        True for the integer-quantized modes (int16/int8): the arena adds
+        the whole-batch leaf-code accumulator, the quantized-row-code
+        buffer, and the leaf-value chunk view ``qv``.
     pack_widths:
         Which movemask scratch integers the module's tile widths need
         (subset of ``(16, 32, 64)``).
@@ -144,12 +196,17 @@ class ArenaSpec:
     float_dtype: str
     findex_dtype: str
     pack_widths: tuple[int, ...]
+    acc_dtype: str = "float64"
+    mm_dtype: str = "float64"
+    quantized: bool = False
 
     def nbytes_for(self, rows: int) -> int:
         """Predicted arena footprint for a ``rows``-row invocation."""
         n = 1 if self.per_row else max(1, rows)
         fsize = np.dtype(self.float_dtype).itemsize
         isize = np.dtype(self.findex_dtype).itemsize
+        asize = np.dtype(self.acc_dtype).itemsize
+        msize = np.dtype(self.mm_dtype).itemsize
         lane, scalar = n * self.max_lane, n * self.max_scalar
         total = lane * (2 * fsize + isize + 1)  # thr, feat, fidx, cmp
         if not self.per_row:
@@ -157,7 +214,12 @@ class ArenaSpec:
             total += n * 8             # cached row offsets
         total += scalar * 8 * 6        # idx, ci, sid, state, base, tmp
         total += sum(scalar * (w // 8) for w in self.pack_widths)
-        total += n * self.num_classes * fsize  # matmul accumulator
+        total += n * self.num_classes * msize  # matmul accumulator
+        if self.quantized:
+            total += scalar * msize    # leaf-code chunk values (qv)
+        if self.quantized and not self.per_row:
+            total += n * self.num_classes * asize   # leaf-code accumulator
+            total += n * self.num_features * fsize  # quantized row codes
         return total
 
 
@@ -206,7 +268,20 @@ class ScratchArena:
             setattr(self, name, np.empty(scalar, dtype=np.int64))
         for width in spec.pack_widths:
             setattr(self, f"p{width}", np.empty(scalar, dtype=np.dtype(f"uint{width}")))
-        self.fm = np.empty(rows * spec.num_classes, dtype=fdt)  # accumulator
+        mdt = np.dtype(spec.mm_dtype)
+        self.fm = np.empty(rows * spec.num_classes, dtype=mdt)  # chunk matmul
+        if spec.quantized:
+            # Leaf-code chunk values: the float-carried integer codes the
+            # chunk matmul reads (BLAS path; see ArenaSpec.mm_dtype).
+            self.qv = np.empty(scalar, dtype=mdt)
+        if spec.quantized and not spec.per_row:
+            # Whole-batch leaf-code accumulator and quantized row codes;
+            # per_row kernels allocate these per call (their arenas are
+            # batch-size independent by contract).
+            self.qa = np.empty(
+                rows * spec.num_classes, dtype=np.dtype(spec.acc_dtype)
+            )
+            self.qr = np.empty(rows * spec.num_features, dtype=fdt)
         self.cap_rows = rows
         self.grows += 1
 
@@ -244,7 +319,7 @@ def arena_spec(lir) -> ArenaSpec:
         if width in (2, 4, 8):
             pack_widths.add(width * 8)
     schedule = lir.schedule
-    float32 = schedule.precision == "float32"
+    info = PRECISION_TABLE[schedule.precision]
     return ArenaSpec(
         max_lane=max_lane,
         max_scalar=max_scalar,
@@ -252,7 +327,36 @@ def arena_spec(lir) -> ArenaSpec:
         num_features=lir.num_features,
         per_row=lir.mir.loop_order == "one-row",
         row_block=schedule.row_block,
-        float_dtype="float32" if float32 else "float64",
-        findex_dtype="int32" if float32 else "int64",
+        float_dtype=info.element_dtype,
+        findex_dtype=info.findex_dtype,
+        acc_dtype=info.acc_dtype,
+        mm_dtype=quant_mm_dtype(lir),
+        quantized=info.quantized,
         pack_widths=tuple(sorted(pack_widths)),
     )
+
+
+def quant_mm_dtype(lir) -> str:
+    """dtype of the per-chunk ``vals @ onehot`` matmul for ``lir``.
+
+    Float precisions keep their accumulator dtype. Quantized modules carry
+    leaf codes in a float buffer so the matmul dispatches to BLAS: float32
+    when the worst-case chunk sum (largest interleave chunk times the
+    maximum code magnitude) stays inside float32's exact integer range,
+    float64 otherwise. Both are exact — the codes and their chunk sums are
+    integers below the chosen float's 2**24 / 2**53 integer horizon — so
+    kernel output remains bit-identical to the int64 reference
+    accumulation in :mod:`repro.backend.interpreter`.
+    """
+    info = PRECISION_TABLE[lir.schedule.precision]
+    if lir.quant is None:
+        return info.acc_dtype
+    max_chunk = max(
+        (
+            min(max(1, g.walk.width), g.layout.num_trees)
+            for g in lir.groups
+            if not g.trivial
+        ),
+        default=0,
+    )
+    return "float32" if max_chunk * lir.quant.qmax < 2**24 else "float64"

@@ -1,0 +1,234 @@
+"""Compile-time integer quantization of thresholds and leaf values.
+
+The InTreeger direction: under ``Schedule(precision="int16")`` /
+``"int8"`` the whole tiled walk runs on integer compares and integer
+gathers. Two independent mappings make that sound:
+
+**Rank-coded thresholds (exact).** Per feature ``f`` collect the sorted
+unique finite thresholds ``u_0 < u_1 < ... < u_{m-1}`` used anywhere in
+the model. Incoming rows are quantized once per batch with
+
+    ``q(x) = searchsorted(u, x, side='right')``  (= #{i : u_i <= x})
+
+and every stored threshold ``u_j`` becomes the integer code ``j + 1``.
+Then for any real ``x``::
+
+    x < u_j  <=>  q(x) <= j  <=>  q(x) < j + 1
+
+so the integer compare routes *identically* to the float64 compare — not
+approximately: quantized routing is exact, unlike ``float32`` mode which
+rounds thresholds. ``+inf`` padding thresholds map to the dtype max
+(``q(x) <= m < dtype_max`` always, preserving the speculative-evaluation
+contract), ``-inf`` to code 0 (never satisfied, as ``q(x) >= 0``).
+Capacity: a feature with ``m`` distinct thresholds needs codes up to
+``m``, so ``m <= dtype_max - 1`` (126 for int8, 32766 for int16 — the
+histogram-binned thresholds of real GBDT trainers fit int8 comfortably).
+
+**Fixed-point leaves (bounded).** Leaf values quantize to
+``round(v / s)`` clipped to ``[-qmax, qmax]`` with one per-forest scale
+``s = max|leaf| / qmax``. The kernel accumulates leaf *codes* exactly —
+the reference interpreter in int64, the generated kernel in a float64
+carrier (``T`` trees of codes ``<= qmax`` sum far below 2**53, so both
+paths hold identical integers; the float carrier lets the chunk matmul
+use BLAS) — and rescales once at the boundary:
+``out = base_score + acc * s``. Per-tree dequantization
+error is at most ``s / 2``, so any output margin is within
+``T * s / 2`` of the float64 margin (:meth:`QuantizationSpec.tolerance`),
+and classification argmax is preserved whenever the float top-2 margin
+gap exceeds ``2 * tolerance`` — the property the differential fuzzer
+asserts case by case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import PRECISION_TABLE
+from repro.errors import QuantizationError
+
+
+@dataclass
+class QuantizationSpec:
+    """The compiled quantization tables of one module.
+
+    Attributes
+    ----------
+    dtype:
+        Code dtype name (``"int16"`` or ``"int8"``) of row codes,
+        threshold codes, and leaf codes.
+    cuts:
+        Flattened per-feature sorted unique finite thresholds (float64).
+        Feature ``f`` owns ``cuts[cut_offsets[f]:cut_offsets[f + 1]]``.
+    cut_offsets:
+        ``(num_features + 1,)`` int64 prefix offsets into ``cuts``.
+    leaf_scale:
+        The fixed-point scale ``s``; dequantized leaf = ``code * s``.
+    num_trees:
+        Trees in the forest (bounds the accumulated leaf error).
+    """
+
+    dtype: str
+    cuts: np.ndarray
+    cut_offsets: np.ndarray
+    leaf_scale: float
+    num_trees: int
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable leaf-code magnitude (127 / 32767)."""
+        return int(np.iinfo(np.dtype(self.dtype)).max)
+
+    @property
+    def sentinel(self) -> int:
+        """Threshold code of ``+inf`` padding: the dtype max, strictly
+        greater than every row code (which is at most the per-feature cut
+        count, capped at dtype max - 1)."""
+        return self.qmax
+
+    @property
+    def num_features(self) -> int:
+        return len(self.cut_offsets) - 1
+
+    def cuts_for(self, feature: int) -> np.ndarray:
+        return self.cuts[self.cut_offsets[feature]:self.cut_offsets[feature + 1]]
+
+    def quantize_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Rank-code a float ``(B, F)`` batch (the kernel prologue,
+        reimplemented here for the interpreter and tests)."""
+        rows = np.asarray(rows, dtype=np.float64)
+        out = np.empty(rows.shape, dtype=np.dtype(self.dtype))
+        for f in range(self.num_features):
+            out[:, f] = np.searchsorted(self.cuts_for(f), rows[:, f], side="right")
+        return out
+
+    def quantize_thresholds(
+        self, thresholds: np.ndarray, features: np.ndarray
+    ) -> np.ndarray:
+        """Map stored float thresholds to rank codes (``+inf`` padding to
+        the sentinel, ``-inf`` to 0)."""
+        thr = np.asarray(thresholds, dtype=np.float64)
+        feat = np.asarray(features)
+        codes = np.full(thr.shape, self.sentinel, dtype=np.int64)
+        codes[thr == -np.inf] = 0
+        finite = np.isfinite(thr)
+        for f in np.unique(feat[finite]):
+            cuts = self.cuts_for(int(f))
+            mask = finite & (feat == f)
+            ranks = np.searchsorted(cuts, thr[mask], side="left")
+            hit = (ranks < len(cuts)) & (cuts[np.minimum(ranks, len(cuts) - 1)] == thr[mask])
+            if not bool(hit.all()):
+                raise QuantizationError(
+                    f"threshold on feature {int(f)} missing from its cut table"
+                )
+            codes[mask] = ranks + 1
+        return codes.astype(np.dtype(self.dtype))
+
+    def quantize_leaves(self, values: np.ndarray) -> np.ndarray:
+        """Fixed-point leaf codes: ``clip(round(v / s), -qmax, qmax)``."""
+        scaled = np.rint(np.asarray(values, dtype=np.float64) / self.leaf_scale)
+        return np.clip(scaled, -self.qmax, self.qmax).astype(np.dtype(self.dtype))
+
+    def tolerance(self, num_trees: int | None = None) -> float:
+        """Absolute bound on ``|quantized margin - float64 margin|``:
+        every tree contributes one leaf with dequantization error at most
+        ``leaf_scale / 2``."""
+        trees = self.num_trees if num_trees is None else num_trees
+        return 0.5 * self.leaf_scale * trees + 1e-12
+
+    def table_nbytes(self) -> int:
+        """Footprint of the row-quantization tables the kernel ships."""
+        return int(self.cuts.nbytes + self.cut_offsets.nbytes + 8)
+
+    def describe(self) -> dict:
+        """JSON-ready summary (AOT manifests, observability dumps)."""
+        return {
+            "dtype": self.dtype,
+            "cut_points": int(len(self.cuts)),
+            "max_cuts_per_feature": int(
+                np.diff(self.cut_offsets).max() if self.num_features else 0
+            ),
+            "leaf_scale": float(self.leaf_scale),
+            "num_trees": int(self.num_trees),
+            "table_nbytes": self.table_nbytes(),
+        }
+
+
+def _group_leaf_values(layout) -> np.ndarray:
+    return layout.leaves if layout.kind == "sparse" else layout.leaf_values
+
+
+def build_quantization(lir) -> QuantizationSpec:
+    """Build the quantization tables for a lowered module.
+
+    Gathers every finite threshold per feature across all group layouts
+    into sorted unique cut tables, and the global ``max|leaf|`` into the
+    fixed-point scale. Raises :class:`~repro.errors.QuantizationError`
+    when the model does not fit the target dtype's capacity.
+    """
+    precision = lir.schedule.precision
+    info = PRECISION_TABLE[precision]
+    if not info.quantized:
+        raise QuantizationError(f"precision {precision!r} is not a quantized mode")
+    qmax = int(np.iinfo(np.dtype(info.element_dtype)).max)
+    findex_max = int(np.iinfo(np.dtype(info.findex_dtype)).max)
+    if lir.num_features > findex_max:
+        raise QuantizationError(
+            f"{lir.num_features} features exceed the {info.findex_dtype} "
+            f"feature-index range of precision {precision!r}"
+        )
+
+    per_feature: list[np.ndarray] = [
+        np.empty(0, dtype=np.float64) for _ in range(lir.num_features)
+    ]
+    max_abs_leaf = 0.0
+    for group in lir.groups:
+        leaves = _group_leaf_values(group.layout)
+        if not np.isfinite(leaves).all():
+            raise QuantizationError(
+                f"group {group.group_id} has non-finite leaf values; "
+                f"fixed-point leaf codes require finite leaves"
+            )
+        if leaves.size:
+            max_abs_leaf = max(max_abs_leaf, float(np.abs(leaves).max()))
+        if group.trivial:
+            continue
+        thr = group.layout.thresholds
+        feat = group.layout.features
+        finite = np.isfinite(thr)
+        if not finite.any():
+            continue
+        flat_t, flat_f = thr[finite], feat[finite]
+        for f in np.unique(flat_f):
+            fi = int(f)
+            per_feature[fi] = np.concatenate(
+                [per_feature[fi], flat_t[flat_f == f]]
+            )
+
+    cut_offsets = np.zeros(lir.num_features + 1, dtype=np.int64)
+    tables: list[np.ndarray] = []
+    for f in range(lir.num_features):
+        cuts = np.unique(per_feature[f])  # sorted unique
+        if len(cuts) > qmax - 1:
+            raise QuantizationError(
+                f"feature {f} has {len(cuts)} distinct thresholds; "
+                f"precision {precision!r} rank-codes at most {qmax - 1} "
+                f"(use {'int16' if precision == 'int8' else 'float32'})"
+            )
+        tables.append(cuts)
+        cut_offsets[f + 1] = cut_offsets[f] + len(cuts)
+    cuts = (
+        np.concatenate(tables) if tables else np.empty(0, dtype=np.float64)
+    ).astype(np.float64)
+
+    # max|leaf| == 0 (all-zero leaves) degenerates to scale 1: every code 0.
+    leaf_scale = (max_abs_leaf / qmax) if max_abs_leaf > 0.0 else 1.0
+    num_trees = sum(g.layout.num_trees for g in lir.groups)
+    return QuantizationSpec(
+        dtype=info.element_dtype,
+        cuts=np.ascontiguousarray(cuts),
+        cut_offsets=cut_offsets,
+        leaf_scale=float(leaf_scale),
+        num_trees=num_trees,
+    )

@@ -45,7 +45,10 @@ SNAPSHOT_KEYS = (
     "gauges",
 )
 
-SCHEMA_VERSION = 3
+#: v4: serving snapshots gained the ``bytes_by_precision`` gauge (model
+#: and scratch bytes split by schedule precision, so quantized int16/int8
+#: footprint savings are visible in the dump).
+SCHEMA_VERSION = 4
 
 #: recent compilation traces kept for the snapshot
 TRACE_RING_CAPACITY = 32

@@ -110,6 +110,9 @@ class ModelServer:
         self.metrics.register_gauge("kernel_pool", pool_stats)
         self.metrics.register_gauge("scratch_bytes", self._scratch_bytes)
         self.metrics.register_gauge("model_bytes", self._model_bytes)
+        self.metrics.register_gauge(
+            "bytes_by_precision", self._bytes_by_precision
+        )
         # Report into the process-wide observability registry under a
         # unique name so several servers coexist in one snapshot;
         # close() withdraws the registration.
@@ -131,6 +134,42 @@ class ModelServer:
             for p in self.cache.values()
             if hasattr(p, "memory_bytes")
         )
+
+    def _bytes_by_precision(self) -> dict:
+        """Model/scratch footprints split by schedule precision.
+
+        Makes quantized deployments legible in one snapshot: an int8
+        model next to its float64 twin shows the buffer savings directly.
+        ``param_bytes`` counts only the threshold/leaf buffers — the ones
+        precision narrows — so it compares like for like across
+        precisions; ``model_bytes`` is each predictor's own total
+        footprint accounting.
+        """
+        out: dict[str, dict[str, int]] = {}
+        for p in self.cache.values():
+            precision = getattr(
+                getattr(p, "schedule", None), "precision", "unknown"
+            )
+            slot = out.setdefault(
+                precision,
+                {
+                    "predictors": 0,
+                    "model_bytes": 0,
+                    "param_bytes": 0,
+                    "scratch_bytes": 0,
+                },
+            )
+            slot["predictors"] += 1
+            if hasattr(p, "memory_bytes"):
+                slot["model_bytes"] += int(p.memory_bytes())
+            if getattr(p, "lir", None) is not None:
+                from repro.lir.memory import quantized_param_nbytes
+
+                thr, leaves = quantized_param_nbytes(p.lir)
+                slot["param_bytes"] += thr + leaves
+            if hasattr(p, "scratch_nbytes"):
+                slot["scratch_bytes"] += int(p.scratch_nbytes())
+        return out
 
     # ------------------------------------------------------------------
     # Registration

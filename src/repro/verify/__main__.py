@@ -10,8 +10,9 @@ Usage::
 Two phases, both deterministic in ``--seed``:
 
 1. **Grid verification** — compile fixed seeded forests (regression,
-   multiclass, degenerate) across the Table-II schedule grid at both
-   precisions with ``Schedule(verify=True)``, so every structural verifier
+   multiclass, degenerate) across the Table-II schedule grid at every
+   precision (including the quantized int16/int8 modes) with
+   ``Schedule(verify=True)``, so every structural verifier
    runs on every configuration, and cross-check one batch per compile
    against the reference interpreter.
 2. **Differential fuzzing** — :func:`repro.verify.run_fuzz` with the
@@ -27,7 +28,7 @@ import time
 
 import numpy as np
 
-from repro.config import Schedule
+from repro.config import PRECISIONS, Schedule
 from repro.errors import ReproError
 from repro.verify import FuzzConfig, run_fuzz
 from repro.verify.fuzz import compare_case, random_fuzz_forest
@@ -37,13 +38,13 @@ _FULL_GRID = {
     "tile_sizes": (1, 2, 4, 8),
     "tilings": ("basic", "probability", "hybrid"),
     "layouts": ("array", "sparse"),
-    "precisions": ("float64", "float32"),
+    "precisions": ("float64", "float32", "int16", "int8"),
 }
 _SMOKE_GRID = {
     "tile_sizes": (1, 4),
     "tilings": ("basic", "hybrid"),
     "layouts": ("array", "sparse"),
-    "precisions": ("float64", "float32"),
+    "precisions": ("float64", "float32", "int8"),
 }
 
 
@@ -147,6 +148,14 @@ def main(argv: list[str] | None = None) -> int:
         "export-capable backends)",
     )
     parser.add_argument(
+        "--precision",
+        action="append",
+        choices=PRECISIONS,
+        help="pin the --backends sweep to this precision (repeatable; e.g. "
+        "--precision int16 --precision int8 re-runs the backend matrix "
+        "under the quantized kernels)",
+    )
+    parser.add_argument(
         "--no-minimize", action="store_true", help="report failures without shrinking"
     )
     args = parser.parse_args(argv)
@@ -170,7 +179,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.backends:
         from repro.verify.backends import run_backend_sweep
 
-        _, backend_failures = run_backend_sweep(seeds=(args.seed,), log=print)
+        _, backend_failures = run_backend_sweep(
+            seeds=(args.seed,),
+            precisions=tuple(args.precision) if args.precision else None,
+            log=print,
+        )
         grid_failures += backend_failures
 
     config = FuzzConfig(

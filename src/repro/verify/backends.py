@@ -45,6 +45,7 @@ from repro.verify.fuzz import (
 BACKEND_SWEEP_CONFIG = {
     "seeds": (0, 1, 2),
     "backends": None,  # None = every registered backend at run time
+    "precisions": None,  # None = each schedule point's own precision
 }
 
 #: reduced Table-II schedule set: the paper default, the scalar baseline,
@@ -107,9 +108,16 @@ def compare_backend_case(forest, schedule: Schedule, rows: np.ndarray):
 def run_backend_sweep(
     seeds: tuple[int, ...] = BACKEND_SWEEP_CONFIG["seeds"],
     backends: tuple[str, ...] | None = BACKEND_SWEEP_CONFIG["backends"],
+    precisions: tuple[str, ...] | None = BACKEND_SWEEP_CONFIG["precisions"],
     log=None,
 ) -> tuple[int, int]:
     """Differential-check every backend across seeds and schedules.
+
+    ``precisions`` pins the sweep to the given precision axis — every
+    schedule point runs once per precision (overriding the point's own
+    ``precision`` field), which is how ``python -m repro.verify --backends
+    --precision int8`` re-runs the whole matrix under quantized kernels.
+    ``None`` keeps each point's built-in precision.
 
     Returns ``(comparisons, failures)``. Each failure is logged via
     ``log`` (a ``print``-like callable) with enough context to rebuild the
@@ -125,29 +133,37 @@ def run_backend_sweep(
         for fname, forest in _sweep_forests(rng):
             for overrides in _SWEEP_SCHEDULES:
                 for backend in names:
-                    schedule = Schedule(**overrides).with_(
+                    base = Schedule(**overrides).with_(
                         backend=backend, verify=True
                     )
-                    for label, rows in adversarial_batches(
-                        forest, rng, precision=schedule.precision
-                    ):
-                        comparisons += 1
-                        try:
-                            outcome = compare_backend_case(forest, schedule, rows)
-                        except ReproError as exc:
-                            outcome = ("compile", float("nan"))
-                            if log:
-                                log(f"  compile raised: {exc}")
-                        if outcome is not None:
-                            failures += 1
-                            if log:
-                                stage, err = outcome
-                                log(
-                                    f"BACKEND FAIL seed={seed} [{fname}] "
-                                    f"backend={backend} batch={label} "
-                                    f"stage={stage} max|err|={err:.3e} "
-                                    f"schedule={schedule.to_dict()}"
+                    points = (
+                        [base.with_(precision=p) for p in precisions]
+                        if precisions
+                        else [base]
+                    )
+                    for schedule in points:
+                        for label, rows in adversarial_batches(
+                            forest, rng, precision=schedule.precision
+                        ):
+                            comparisons += 1
+                            try:
+                                outcome = compare_backend_case(
+                                    forest, schedule, rows
                                 )
+                            except ReproError as exc:
+                                outcome = ("compile", float("nan"))
+                                if log:
+                                    log(f"  compile raised: {exc}")
+                            if outcome is not None:
+                                failures += 1
+                                if log:
+                                    stage, err = outcome
+                                    log(
+                                        f"BACKEND FAIL seed={seed} [{fname}] "
+                                        f"backend={backend} batch={label} "
+                                        f"stage={stage} max|err|={err:.3e} "
+                                        f"schedule={schedule.to_dict()}"
+                                    )
     if log:
         log(
             f"backend sweep: {comparisons} comparisons over "

@@ -1,9 +1,10 @@
 """Seeded differential fuzzing of the compilation pipeline.
 
 Each fuzz case samples a random forest, a random point of the Table-II
-schedule grid (both precisions, both layouts, both scratch modes, the
-interleave/peel/pad axes, row blocking, parallel degree) and compiles it
-with ``Schedule(verify=True)`` so every structural verifier runs. The
+schedule grid (all four precisions including the quantized int16/int8
+modes, both layouts, both scratch modes, the interleave/peel/pad axes,
+row blocking, parallel degree) and compiles it with
+``Schedule(verify=True)`` so every structural verifier runs. The
 compiled kernel is then driven with a corpus of adversarial batches —
 ±inf features, values exactly equal to thresholds, float32 boundary
 values, denormals, empty/1-row/large batches, non-contiguous and
@@ -32,18 +33,25 @@ from repro.errors import ReproError
 from repro.forest.builder import TreeBuilder
 from repro.forest.ensemble import Forest
 
-#: absolute/relative tolerances per precision. float64 kernels differ from
-#: the interpreter only by accumulation order; float32 kernels chunk-sum in
-#: float32 (matmul), so boundary rounding of ~2e-5 relative is expected.
+#: absolute/relative tolerances per precision *against the interpreter*.
+#: float64 kernels differ from the interpreter only by accumulation order;
+#: float32 kernels chunk-sum in float32 (matmul), so boundary rounding of
+#: ~2e-5 relative is expected. Quantized kernels and the interpreter both
+#: accumulate integer leaf codes and rescale once, so they agree bit for
+#: bit — the float64 tolerance applies. (Against the reference *forest*,
+#: quantized output error is bounded by ``QuantizationSpec.tolerance``.)
 _TOLERANCES = {
     "float64": (1e-10, 1e-12),
     "float32": (3e-5, 1e-5),
+    "int16": (1e-10, 1e-12),
+    "int8": (1e-10, 1e-12),
 }
 
 #: schedule-shrinking moves, applied in order while the failure persists —
 #: each step toward the scalar baseline that keeps reproducing narrows the
 #: blame to the knobs that remain.
 _SCHEDULE_SIMPLIFICATIONS = (
+    ("precision", "float64"),
     ("parallel", 1),
     ("row_block", 0),
     ("interleave", 1),
@@ -134,7 +142,9 @@ def sample_schedule(rng: np.random.Generator) -> Schedule:
         row_block=int(rng.choice([0, 0, 3, 17])),
         reorder=bool(rng.integers(2)),
         compact_walks=bool(rng.integers(2)),
-        precision=str(rng.choice(["float64", "float32"])),
+        precision=str(
+            rng.choice(["float64", "float64", "float32", "int16", "int8"])
+        ),
         scratch=str(rng.choice(["arena", "alloc"])),
         verify=True,
     )
@@ -197,7 +207,7 @@ def adversarial_batches(
         (
             "wrong-dtype",
             rng.normal(size=(5, F)).astype(
-                np.float32 if precision == "float64" else np.float64
+                np.float64 if precision == "float32" else np.float32
             ),
         ),
     ]
@@ -229,8 +239,9 @@ def compare_case(
     """Compile and cross-check one (forest, schedule, rows) triple.
 
     Returns ``None`` on agreement, else ``(stage, max_abs_err)`` where
-    stage is ``"compile"`` (pipeline/verifier raised), ``"interpreter"``
-    or ``"forest"``.
+    stage is ``"compile"`` (pipeline/verifier raised), ``"interpreter"``,
+    ``"forest"`` or ``"argmax"`` (quantized multiclass case flipped a
+    decided classification).
     """
     from repro.api import compile_model
     from repro.backend.interpreter import interpret_lir
@@ -247,6 +258,7 @@ def compare_case(
         want = _as_margins(interpret_lir(predictor.lir, rows), forest.num_classes)
     if not np.allclose(got, want, rtol=rtol, atol=atol):
         return ("interpreter", _max_abs_err(got, want))
+    quant = predictor.lir.quant
     if schedule.precision == "float64":
         ref = _as_margins(
             forest.raw_predict(np.ascontiguousarray(rows, dtype=np.float64)),
@@ -254,6 +266,24 @@ def compare_case(
         )
         if not np.allclose(got, ref, rtol=rtol, atol=atol):
             return ("forest", _max_abs_err(got, ref))
+    elif quant is not None:
+        # Quantized routing is exact (rank codes preserve every float64
+        # comparison); the only error source is fixed-point leaf rounding,
+        # bounded by 0.5 * leaf_scale per tree.
+        ref = _as_margins(
+            forest.raw_predict(np.ascontiguousarray(rows, dtype=np.float64)),
+            forest.num_classes,
+        )
+        tol = quant.tolerance()
+        if not np.allclose(got, ref, rtol=1e-9, atol=tol):
+            return ("forest", _max_abs_err(got, ref))
+        if forest.num_classes > 1 and got.shape[0]:
+            # Classification must agree wherever the reference margins are
+            # decided by more than the worst-case rounding of two classes.
+            top2 = np.sort(ref, axis=1)[:, -2:]
+            decided = (top2[:, 1] - top2[:, 0]) > 2.0 * tol
+            if (got.argmax(axis=1) != ref.argmax(axis=1))[decided].any():
+                return ("argmax", _max_abs_err(got, ref))
     return None
 
 
@@ -362,7 +392,7 @@ class FuzzFailure:
     """One divergence between the compiled kernel and a reference."""
 
     case: int
-    stage: str            # "compile" | "interpreter" | "forest"
+    stage: str            # "compile" | "interpreter" | "forest" | "argmax"
     batch: str            # adversarial-corpus label
     max_abs_err: float
     schedule: dict

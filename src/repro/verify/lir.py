@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config import PRECISION_TABLE
 from repro.errors import VerificationError
 from repro.hir.tiling.shapes import storage_width
 from repro.lir.ir import LIRGroup, LIRModule
@@ -251,12 +252,120 @@ def _verify_arena(lir: LIRModule) -> None:
             f"arena spec sized for {spec.num_features} features, module has "
             f"{lir.num_features}"
         )
-    want_fdt = "float32" if lir.schedule.precision == "float32" else "float64"
-    if spec.float_dtype != want_fdt:
+    info = PRECISION_TABLE[lir.schedule.precision]
+    if spec.float_dtype != info.element_dtype:
         _fail(
-            f"arena spec float dtype {spec.float_dtype!r} != schedule "
-            f"precision {want_fdt!r}"
+            f"arena spec element dtype {spec.float_dtype!r} != schedule "
+            f"precision element dtype {info.element_dtype!r}"
         )
+    if spec.findex_dtype != info.findex_dtype:
+        _fail(
+            f"arena spec feature-index dtype {spec.findex_dtype!r} != "
+            f"precision table {info.findex_dtype!r}"
+        )
+    if spec.acc_dtype != info.acc_dtype:
+        _fail(
+            f"arena spec accumulator dtype {spec.acc_dtype!r} != "
+            f"precision table {info.acc_dtype!r}"
+        )
+
+
+def _verify_quantization(lir: LIRModule) -> dict:
+    """Invariants of the quantization pass (int16/int8 precisions):
+
+    * a quantized module carries a spec whose dtype matches the schedule;
+    * cut tables are per-feature strictly increasing, finite, and within
+      the dtype's rank capacity;
+    * threshold codes are *order-preserving*: re-deriving every live
+      tile's codes from the cut tables reproduces monotone ranks, ``+inf``
+      padding maps to the sentinel and nothing else does;
+    * leaf codes are in ``[-qmax, qmax]`` and dequantize back to within
+      ``leaf_scale / 2`` of the float leaves;
+    * the scale is positive and finite.
+    """
+    quant = lir.quant
+    info = PRECISION_TABLE[lir.schedule.precision]
+    if quant is None:
+        _fail(f"precision {lir.schedule.precision!r} lowered without a "
+              "quantization spec")
+    if quant.dtype != info.element_dtype:
+        _fail(f"quantization dtype {quant.dtype!r} != precision element "
+              f"dtype {info.element_dtype!r}")
+    if not (np.isfinite(quant.leaf_scale) and quant.leaf_scale > 0):
+        _fail(f"leaf scale {quant.leaf_scale!r} must be positive and finite")
+    if quant.num_features != lir.num_features:
+        _fail(f"quantization tables cover {quant.num_features} features, "
+              f"module has {lir.num_features}")
+    offsets = quant.cut_offsets
+    if len(offsets) != lir.num_features + 1 or (np.diff(offsets) < 0).any():
+        _fail("cut offsets are not a monotone prefix over the features")
+    if int(offsets[-1]) != len(quant.cuts):
+        _fail(f"cut offsets end at {int(offsets[-1])}, table has "
+              f"{len(quant.cuts)} entries")
+    if quant.cuts.size and not np.isfinite(quant.cuts).all():
+        _fail("cut table contains non-finite thresholds")
+    qmax = quant.qmax
+    max_cuts = 0
+    for f in range(quant.num_features):
+        cuts = quant.cuts_for(f)
+        max_cuts = max(max_cuts, len(cuts))
+        if len(cuts) > qmax - 1:
+            _fail(f"feature {f}: {len(cuts)} cuts exceed the {quant.dtype} "
+                  f"rank capacity {qmax - 1}")
+        if len(cuts) > 1 and (np.diff(cuts) <= 0).any():
+            _fail(f"feature {f}: cut table is not strictly increasing")
+
+    codes_checked = 0
+    for group in lir.groups:
+        if group.trivial:
+            continue
+        layout = group.layout
+        thr = layout.thresholds
+        codes = quant.quantize_thresholds(thr, layout.features).astype(np.int64)
+        if (codes[thr == np.inf] != quant.sentinel).any():
+            _fail(f"group {group.group_id}: +inf padding not coded as the "
+                  f"sentinel {quant.sentinel}")
+        finite = np.isfinite(thr)
+        if finite.any():
+            if int(codes[finite].min()) < 1 or int(codes[finite].max()) > qmax - 1:
+                _fail(f"group {group.group_id}: finite threshold codes "
+                      f"outside [1, {qmax - 1}]")
+            # Order preservation, per feature: sort by float threshold and
+            # the integer codes must sort identically (strictly where the
+            # floats are distinct).
+            flat_t = thr[finite]
+            flat_f = layout.features[finite]
+            flat_c = codes[finite]
+            for f in np.unique(flat_f):
+                sel = flat_f == f
+                order = np.argsort(flat_t[sel], kind="stable")
+                t_sorted = flat_t[sel][order]
+                c_sorted = flat_c[sel][order]
+                if (np.diff(c_sorted) < 0).any():
+                    _fail(f"group {group.group_id} feature {int(f)}: "
+                          "threshold codes not monotone in the thresholds")
+                distinct = np.diff(t_sorted) > 0
+                if (np.diff(c_sorted)[distinct] <= 0).any():
+                    _fail(f"group {group.group_id} feature {int(f)}: distinct "
+                          "thresholds share a code (order collapsed)")
+            codes_checked += int(finite.sum())
+        leaves = (
+            layout.leaves if layout.kind == "sparse" else layout.leaf_values
+        )
+        lcodes = quant.quantize_leaves(leaves).astype(np.int64)
+        if int(np.abs(lcodes).max(initial=0)) > qmax:
+            _fail(f"group {group.group_id}: leaf code magnitude exceeds {qmax}")
+        err = np.abs(lcodes * quant.leaf_scale - leaves)
+        bound = 0.5 * quant.leaf_scale * (1 + 1e-9) + 1e-12
+        if err.size and float(err.max()) > bound:
+            _fail(f"group {group.group_id}: leaf dequantization error "
+                  f"{float(err.max()):.3e} exceeds scale/2 = {bound:.3e}")
+    return {
+        "quant_cut_points": int(len(quant.cuts)),
+        "quant_max_cuts_per_feature": int(max_cuts),
+        "quant_codes_checked": codes_checked,
+        "quant_leaf_scale": float(quant.leaf_scale),
+    }
 
 
 def verify_lir_module(lir: LIRModule) -> dict:
@@ -336,9 +445,18 @@ def verify_lir_module(lir: LIRModule) -> dict:
     if lir.schedule.scratch == "arena":
         _verify_arena(lir)
 
-    return {
+    stats = {
         "groups_checked": len(lir.groups),
         "lanes_checked": lanes_checked,
         "tiles_walked": int(tiles_walked),
         "lut_rows": int(lir.lut.shape[0]),
     }
+    quantized = PRECISION_TABLE[lir.schedule.precision].quantized
+    if lir.quant is not None and not quantized:
+        _fail(
+            f"float precision {lir.schedule.precision!r} carries a "
+            "quantization spec"
+        )
+    if quantized:
+        stats.update(_verify_quantization(lir))
+    return stats

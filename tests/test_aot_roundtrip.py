@@ -45,6 +45,9 @@ GRID = [
     Schedule(loop_order="one-row", tile_size=2, interleave=2),
     Schedule(scratch="alloc", pad_and_unroll=False),
     Schedule(profile=True),
+    Schedule(precision="int16"),
+    Schedule(precision="int8", tile_size=4, layout="array"),
+    Schedule(precision="int8", loop_order="one-row", scratch="alloc"),
 ]
 
 

@@ -256,7 +256,7 @@ class TestRegistry:
     def test_snapshot_schema_is_stable(self):
         snap = Registry().snapshot()
         assert tuple(snap.keys()) == SNAPSHOT_KEYS
-        assert snap["schema_version"] == 3
+        assert snap["schema_version"] == 4
 
     def test_backend_events_accumulate(self):
         reg = Registry()
