@@ -40,6 +40,7 @@ from repro.backend.predictor import Predictor
 from repro.config import Schedule
 from repro.errors import CompilerError, ModelError, ReproError
 from repro.forest.ensemble import Forest
+from repro.observe import events as flight
 from repro.observe import registry as observe_registry
 from repro.observe.trace import CompilationTrace
 from repro.perf.machine import INTEL_ROCKET_LAKE_LIKE, MachineProfile
@@ -309,4 +310,12 @@ def _record(trace: CompilationTrace, result: TuneResult) -> None:
             "rank_correlation": result.rank_correlation,
             "stopped_by": result.stopped_by,
         }
+    )
+    flight.record(
+        "tune",
+        best_per_row_us=round(result.best_per_row_us, 4),
+        explored=result.explored,
+        grid_size=result.grid_size,
+        from_cache=result.from_cache,
+        stopped_by=result.stopped_by,
     )

@@ -37,6 +37,22 @@ _TASKS_SUBMITTED = 0
 _TASKS_COMPLETED = 0
 _TASKS_FAILED = 0
 _TASKS_CANCELLED = 0
+_TASK_TIMING = False
+_TASKS_TIME_TOTAL_S = 0.0
+_TASKS_TIME_MAX_S = 0.0
+
+
+def set_task_timing(enabled: bool) -> None:
+    """Toggle per-task wall-clock accounting on the shared pool.
+
+    Off by default: timing wraps every block in two ``perf_counter`` calls,
+    which is noise for large blocks but measurable for tiny ones. The
+    OpenMetrics exporter surfaces the accumulated totals as
+    ``repro_kernel_pool_task_seconds_total`` / ``..._task_max_seconds``.
+    """
+    global _TASK_TIMING
+    with _POOL_LOCK:
+        _TASK_TIMING = bool(enabled)
 
 
 def _default_pool_size() -> int:
@@ -83,6 +99,9 @@ def pool_stats() -> dict:
             "tasks_completed": _TASKS_COMPLETED,
             "tasks_failed": _TASKS_FAILED,
             "tasks_cancelled": _TASKS_CANCELLED,
+            "task_timing": _TASK_TIMING,
+            "tasks_time_total_s": _TASKS_TIME_TOTAL_S,
+            "tasks_time_max_s": _TASKS_TIME_MAX_S,
         }
 
 
@@ -97,6 +116,24 @@ def row_blocks(num_rows: int, num_blocks: int) -> list[tuple[int, int]]:
     num_blocks = max(1, min(num_blocks, num_rows))
     bounds = np.linspace(0, num_rows, num_blocks + 1).astype(np.int64)
     return [(int(bounds[i]), int(bounds[i + 1])) for i in range(num_blocks)]
+
+
+def _timed(kernel: Callable) -> Callable:
+    """Wrap ``kernel`` so each block's wall-clock feeds the pool totals."""
+
+    def run(rows: np.ndarray, out: np.ndarray) -> None:
+        global _TASKS_TIME_TOTAL_S, _TASKS_TIME_MAX_S
+        start = time.perf_counter()
+        try:
+            kernel(rows, out)
+        finally:
+            elapsed = time.perf_counter() - start
+            with _POOL_LOCK:
+                _TASKS_TIME_TOTAL_S += elapsed
+                if elapsed > _TASKS_TIME_MAX_S:
+                    _TASKS_TIME_MAX_S = elapsed
+
+    return run
 
 
 def parallel_predict(
@@ -122,8 +159,10 @@ def parallel_predict(
     pool = get_pool()
     with _POOL_LOCK:
         _TASKS_SUBMITTED += len(blocks)
+        timing = _TASK_TIMING
+    task = _timed(kernel) if timing else kernel
     futures = [
-        pool.submit(kernel, rows[lo:hi], out[lo:hi]) for lo, hi in blocks
+        pool.submit(task, rows[lo:hi], out[lo:hi]) for lo, hi in blocks
     ]
     first_exc: BaseException | None = None
     done = failed = cancelled = 0

@@ -17,6 +17,16 @@ speedups; this package makes those decisions observable at every level:
   aggregating traces, profiles, serving metrics and kernel-pool gauges
   behind one ``snapshot()`` / ``export_json()``; dump it with
   ``python -m repro.observe``.
+* :class:`~repro.observe.spans.RequestTracer` — sampled request span
+  trees from the serving layer (admission → queue wait → batch assembly →
+  kernel → aggregation), kept in a bounded ring (:data:`spans.RING`).
+* :class:`~repro.observe.events.FlightRecorder` — a bounded structured
+  event log of notable serving moments (compiles, hot swaps, tune
+  outcomes, fallbacks, errors, slow requests); tail it live with
+  ``python -m repro.observe tail --follow``.
+* :func:`~repro.observe.export.render_openmetrics` — the registry
+  snapshot as an OpenMetrics/Prometheus exposition document; serve it
+  with ``python -m repro.observe serve --port 9464``.
 * :func:`explain` — the per-schedule decision report.
 
 Quickstart::
@@ -32,6 +42,12 @@ Quickstart::
     print(registry.export_json(indent=2))    # everything, as one document
 """
 
+from repro.observe.events import FlightRecorder, recorder
+from repro.observe.export import (
+    parse_openmetrics,
+    render_openmetrics,
+    start_metrics_server,
+)
 from repro.observe.profile import (
     COUNTER_FIELDS,
     ProfileCounters,
@@ -39,17 +55,22 @@ from repro.observe.profile import (
     aggregate_all,
 )
 from repro.observe.registry import SNAPSHOT_KEYS, Registry, registry
+from repro.observe.spans import RequestTrace, RequestTracer, SpanRing
 from repro.observe.stats import hir_stats, lir_stats, mir_stats
 from repro.observe.trace import CompilationTrace, Span, jsonable
 
 __all__ = [
     "COUNTER_FIELDS",
     "CompilationTrace",
+    "FlightRecorder",
     "ProfileCounters",
     "ProfileRecorder",
     "Registry",
+    "RequestTrace",
+    "RequestTracer",
     "SNAPSHOT_KEYS",
     "Span",
+    "SpanRing",
     "aggregate_all",
     "explain",
     "export_json",
@@ -57,8 +78,12 @@ __all__ = [
     "jsonable",
     "lir_stats",
     "mir_stats",
+    "parse_openmetrics",
+    "recorder",
     "registry",
+    "render_openmetrics",
     "snapshot",
+    "start_metrics_server",
 ]
 
 

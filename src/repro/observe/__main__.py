@@ -1,45 +1,62 @@
-"""``python -m repro.observe`` — dump the observability registry.
+"""``python -m repro.observe`` — observability CLI.
 
-Trains a small synthetic model, compiles and serves it (so the snapshot
-contains pipeline spans, IR statistics, serving counters and pool gauges),
-then prints ``registry.export_json()``. Useful as a smoke test, a schema
-reference for dashboards, and the CI artifact generator.
+Subcommands::
 
-Options::
+    dump      compile + serve a demo model, print the registry as JSON
+              (the default when no subcommand is given — backwards
+              compatible with the original flag-only invocation)
+    metrics   same demo, printed as an OpenMetrics exposition document
+    serve     same demo kept alive behind an HTTP /metrics endpoint
+    tail      pretty-print a flight-recorder JSONL file (``--follow``
+              keeps reading as the serving process appends)
+
+The demo trains a small synthetic model, compiles and serves it with
+request tracing on (``trace_sample=1.0``), so the snapshot contains
+pipeline spans, IR statistics, serving counters, request span trees and
+flight events. Useful as a smoke test, a schema reference for dashboards,
+and the CI artifact generator.
+
+Shared demo options (``dump``/``metrics``/``serve``)::
 
     --rows N        rows per request (default 256)
     --requests N    predict requests to issue (default 4)
     --profile       compile with Schedule(profile=True) kernel counters
     --parallel N    schedule parallel degree (exercises the kernel pool)
-    --output FILE   also write the JSON document to FILE
     --explain       print the schedule decision report to stderr first
+
+``dump`` adds ``--output FILE``/``--indent N``; ``serve`` adds
+``--port N``/``--addr HOST``/``--duration S``/``--interval S``;
+``tail`` takes ``--file PATH`` (or ``$REPRO_FLIGHT_LOG``), ``--lines N``,
+``--kind K``, ``--follow``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 
-import numpy as np
 
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.observe",
-        description="Compile + serve a demo model and dump the observability registry as JSON.",
-    )
+def _add_demo_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rows", type=int, default=256)
     parser.add_argument("--requests", type=int, default=4)
     parser.add_argument("--profile", action="store_true")
     parser.add_argument("--parallel", type=int, default=1)
-    parser.add_argument("--output", type=str, default=None)
     parser.add_argument("--explain", action="store_true")
-    parser.add_argument("--indent", type=int, default=2)
-    args = parser.parse_args(argv)
+
+
+def _run_demo(args, *, flight_log: str | None = None):
+    """Train/compile/serve the demo model; returns the live server.
+
+    The caller owns the server (``with`` or explicit ``close``).
+    """
+    import numpy as np
 
     from repro.config import Schedule
-    from repro.observe import explain, registry
-    from repro.serve import ModelServer
+    from repro.observe import explain
+    from repro.serve import ModelServer, ServerConfig
     from repro.training.gbdt import GBDTParams, train_gbdt
 
     rng = np.random.default_rng(0)
@@ -48,13 +65,35 @@ def main(argv: list[str] | None = None) -> int:
     forest = train_gbdt(X, y, GBDTParams(num_rounds=10, max_depth=5, seed=1))
     schedule = Schedule(profile=args.profile, parallel=max(1, args.parallel))
 
-    with ModelServer() as server:
-        session = server.register("demo", forest, schedule)
-        rows = rng.normal(size=(max(1, args.rows), forest.num_features))
-        for _ in range(max(1, args.requests)):
-            server.predict("demo", rows)
-        if args.explain:
-            print(explain(forest, schedule, predictor=session.predictor), file=sys.stderr)
+    server = ModelServer(
+        ServerConfig(trace_sample=1.0, flight_log=flight_log)
+    )
+    session = server.register("demo", forest, schedule)
+    rows = rng.normal(size=(max(1, args.rows), forest.num_features))
+    for _ in range(max(1, args.requests)):
+        server.predict("demo", rows)
+    if args.explain:
+        print(
+            explain(forest, schedule, predictor=session.predictor),
+            file=sys.stderr,
+        )
+    return server, rows
+
+
+def _cmd_dump(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe dump",
+        description="Compile + serve a demo model and dump the observability registry as JSON.",
+    )
+    _add_demo_args(parser)
+    parser.add_argument("--output", type=str, default=None)
+    parser.add_argument("--indent", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    from repro.observe import registry
+
+    server, _ = _run_demo(args)
+    with server:
         document = registry.export_json(indent=args.indent)
         if args.output:
             with open(args.output, "w") as fh:
@@ -62,6 +101,149 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.output} ({len(document)} bytes)", file=sys.stderr)
         print(document)
     return 0
+
+
+def _cmd_metrics(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe metrics",
+        description="Compile + serve a demo model and print an OpenMetrics exposition document.",
+    )
+    _add_demo_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.observe.export import render_openmetrics
+
+    server, _ = _run_demo(args)
+    with server:
+        sys.stdout.write(render_openmetrics())
+    return 0
+
+
+def _cmd_serve(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe serve",
+        description="Serve the demo model behind an HTTP /metrics endpoint.",
+    )
+    _add_demo_args(parser)
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--addr", type=str, default="127.0.0.1")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="exit after this many seconds (default: run until interrupted)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="seconds between background demo predictions",
+    )
+    parser.add_argument(
+        "--flight-log",
+        type=str,
+        default=None,
+        help="mirror flight events to this JSONL file (tail --follow reads it)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.observe.export import DEFAULT_METRICS_PORT, start_metrics_server
+
+    server, rows = _run_demo(args, flight_log=args.flight_log)
+    port = DEFAULT_METRICS_PORT if args.port is None else args.port
+    with server:
+        httpd = start_metrics_server(port=port, addr=args.addr)
+        host, bound_port = httpd.server_address[:2]
+        print(f"metrics: http://{host}:{bound_port}/metrics", flush=True)
+        deadline = None if args.duration is None else time.monotonic() + args.duration
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                server.predict("demo", rows)
+                time.sleep(max(0.0, args.interval))
+        except KeyboardInterrupt:
+            pass
+        finally:
+            httpd.shutdown()
+    return 0
+
+
+def _cmd_tail(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe tail",
+        description="Pretty-print a flight-recorder JSONL file.",
+    )
+    parser.add_argument(
+        "--file",
+        type=str,
+        default=None,
+        help="flight log path (default: $REPRO_FLIGHT_LOG)",
+    )
+    parser.add_argument("-n", "--lines", type=int, default=20)
+    parser.add_argument("--kind", type=str, default=None)
+    parser.add_argument("--follow", action="store_true")
+    args = parser.parse_args(argv)
+
+    from repro.observe.events import FLIGHT_LOG_ENV, format_event
+
+    path = args.file or os.environ.get(FLIGHT_LOG_ENV)
+    if not path:
+        print(
+            "no flight log: pass --file or set $REPRO_FLIGHT_LOG "
+            "(servers write one when ServerConfig(flight_log=...) is set)",
+            file=sys.stderr,
+        )
+        return 2
+
+    def emit(line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        try:
+            event = json.loads(line)
+        except ValueError:
+            return
+        if args.kind is not None and event.get("kind") != args.kind:
+            return
+        print(format_event(event), flush=True)
+
+    try:
+        fh = open(path, "r")
+    except OSError as exc:
+        print(f"cannot open {path}: {exc}", file=sys.stderr)
+        return 2
+    with fh:
+        history = fh.readlines()
+        for line in history[-args.lines:] if args.lines > 0 else []:
+            emit(line)
+        if args.follow:
+            try:
+                while True:
+                    line = fh.readline()
+                    if line:
+                        emit(line)
+                    else:
+                        time.sleep(0.2)
+            except KeyboardInterrupt:
+                pass
+    return 0
+
+
+_COMMANDS = {
+    "dump": _cmd_dump,
+    "metrics": _cmd_metrics,
+    "serve": _cmd_serve,
+    "tail": _cmd_tail,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Flag-only invocations predate the subcommands and must keep working
+    # (CI calls ``python -m repro.observe --profile --output trace.json``):
+    # anything that is not a known subcommand falls through to ``dump``.
+    if argv and argv[0] in _COMMANDS:
+        return _COMMANDS[argv[0]](argv[1:])
+    return _cmd_dump(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI

@@ -1,0 +1,696 @@
+"""OpenMetrics/Prometheus text exposition of the observability registry.
+
+:func:`render_openmetrics` turns one registry snapshot into a valid
+OpenMetrics text document a fleet scraper (Prometheus, the OpenMetrics
+reference parser, ``promtool``) can consume directly; ``python -m
+repro.observe serve --port N`` serves it over HTTP and ``python -m
+repro.observe metrics`` dumps it to stdout.
+
+Naming and label conventions (pinned by tests + the CI schema check):
+
+* every metric is prefixed ``repro_`` and namespaced by subsystem:
+  ``repro_serving_*`` (per-server, labelled ``server="..."``),
+  ``repro_kernel_pool_*``, ``repro_backend_*``, ``repro_kernel_profile``,
+  ``repro_compile_traces`` / ``repro_tune_runs`` / ``repro_request_spans``
+  / ``repro_flight_events`` (ring lifetime counters);
+* counters carry the mandatory ``_total`` sample suffix, units are spelled
+  in the name (``_seconds``, ``_bytes``, ``_rows``);
+* histograms follow the bucket convention exactly: cumulative
+  ``_bucket{le="..."}`` samples ending in ``le="+Inf"``, plus ``_sum`` and
+  ``_count``;
+* per-precision footprints are labelled ``precision="int8"`` etc., mirror
+  of the ``bytes_by_precision`` serving gauge.
+
+Providers that failed (``"<error: ...>"`` strings in the snapshot) are
+skipped, never rendered — a broken gauge cannot corrupt the exposition.
+
+:func:`parse_openmetrics` is a strict structural validator for the format
+(used by the tests and the CI ``observe-smoke`` job, where no third-party
+parser is available): it checks name/label syntax, TYPE-before-sample
+ordering, family contiguity, counter ``_total`` suffixes, histogram
+bucket cumulativity and the mandatory ``# EOF`` terminator.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.observe import events as _events
+from repro.observe.registry import SCHEMA_VERSION, registry
+
+#: the content type OpenMetrics scrapers negotiate
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: default port of ``python -m repro.observe serve``
+DEFAULT_METRICS_PORT = 9464
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: serving counters exported one-to-one from the metrics snapshot
+_SERVING_COUNTERS = (
+    ("requests", "Predict requests observed."),
+    ("rows", "Total rows predicted."),
+    ("errors", "Predict requests that raised."),
+    ("compiles", "Full pipeline compilations performed."),
+    ("cache_hits", "Predictor-cache hits."),
+    ("cache_misses", "Predictor-cache misses."),
+    ("cache_evictions", "Predictors dropped by the LRU bound."),
+    ("fallbacks", "Requests/compiles degraded to a fallback executor."),
+    ("batches", "Micro-batches executed."),
+)
+
+#: histogram name -> (metric suffix, help) — see ServingMetrics.histograms
+_SERVING_HISTOGRAMS = {
+    "latency_seconds": "Request latency in seconds.",
+    "queue_wait_seconds": "Micro-batch queue wait in seconds.",
+    "kernel_seconds": "Kernel execution time per batch in seconds.",
+    "batch_rows": "Rows per executed micro-batch.",
+}
+
+
+class MetricFamily:
+    """One exposition-format metric family under construction."""
+
+    __slots__ = ("name", "type", "help", "samples")
+
+    def __init__(self, name: str, mtype: str, help_text: str) -> None:
+        self.name = name
+        self.type = mtype
+        self.help = help_text
+        #: list of (suffix, labels dict, value)
+        self.samples: list[tuple[str, dict, float]] = []
+
+    def add(self, value, labels: dict | None = None, suffix: str = "") -> None:
+        self.samples.append((suffix, dict(labels or {}), float(value)))
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.type}",
+        ]
+        for suffix, labels, value in self.samples:
+            label_text = ""
+            if labels:
+                inner = ",".join(
+                    f'{key}="{_escape_label(str(val))}"'
+                    for key, val in labels.items()
+                )
+                label_text = "{" + inner + "}"
+            lines.append(f"{self.name}{suffix}{label_text} {_format_value(value)}")
+        return lines
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _le_text(bound) -> str:
+    """Canonical ``le`` label text for a bucket bound."""
+    if bound == float("inf") or bound == "+Inf":
+        return "+Inf"
+    return _format_value(float(bound))
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_openmetrics(snapshot: dict | None = None) -> str:
+    """The registry snapshot as one OpenMetrics text document."""
+    snap = snapshot if snapshot is not None else registry.snapshot()
+    families: list[MetricFamily] = []
+
+    schema = MetricFamily(
+        "repro_observe_schema_version", "gauge", "Registry snapshot schema version."
+    )
+    schema.add(snap.get("schema_version", SCHEMA_VERSION))
+    families.append(schema)
+
+    families.extend(_kernel_pool_families(snap.get("kernel_pool")))
+    families.extend(_ring_families(snap))
+    families.extend(_backend_families(snap.get("backends")))
+    families.extend(_profile_families(snap.get("profiles")))
+    families.extend(_serving_families(snap.get("serving")))
+    families.extend(_gauge_families(snap.get("gauges")))
+
+    lines: list[str] = []
+    for family in families:
+        lines.extend(family.render())
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _kernel_pool_families(pool) -> list[MetricFamily]:
+    if not isinstance(pool, dict):
+        return []
+    out = []
+    gauges = MetricFamily(
+        "repro_kernel_pool_workers", "gauge", "Workers in the shared kernel pool."
+    )
+    if _is_number(pool.get("workers")):
+        gauges.add(pool["workers"])
+        out.append(gauges)
+    tasks = MetricFamily(
+        "repro_kernel_pool_tasks",
+        "counter",
+        "Lifetime kernel-pool tasks by state.",
+    )
+    for state in ("submitted", "completed", "failed", "cancelled"):
+        value = pool.get(f"tasks_{state}")
+        if _is_number(value):
+            tasks.add(value, {"state": state}, suffix="_total")
+    if tasks.samples:
+        out.append(tasks)
+    if _is_number(pool.get("tasks_time_total_s")):
+        seconds = MetricFamily(
+            "repro_kernel_pool_task_seconds",
+            "counter",
+            "Total seconds spent inside timed kernel-pool tasks.",
+        )
+        seconds.add(pool["tasks_time_total_s"], suffix="_total")
+        out.append(seconds)
+    if _is_number(pool.get("tasks_time_max_s")):
+        longest = MetricFamily(
+            "repro_kernel_pool_task_max_seconds",
+            "gauge",
+            "Longest timed kernel-pool task in seconds.",
+        )
+        longest.add(pool["tasks_time_max_s"])
+        out.append(longest)
+    return out
+
+
+def _ring_families(snap: dict) -> list[MetricFamily]:
+    out = []
+    for key, name, help_text in (
+        ("traces", "repro_compile_traces", "Compilation traces recorded."),
+        ("tunes", "repro_tune_runs", "Autotune runs recorded."),
+        ("spans", "repro_request_spans", "Request span trees recorded."),
+        ("events", "repro_flight_events", "Flight-recorder events recorded."),
+    ):
+        ring = snap.get(key)
+        if isinstance(ring, dict) and _is_number(ring.get("recorded")):
+            family = MetricFamily(name, "counter", help_text)
+            family.add(ring["recorded"], suffix="_total")
+            out.append(family)
+    events_ring = snap.get("events")
+    if isinstance(events_ring, dict) and isinstance(
+        events_ring.get("by_kind"), dict
+    ):
+        kept = MetricFamily(
+            "repro_flight_events_kept",
+            "gauge",
+            "Flight-recorder events currently kept, by kind.",
+        )
+        for kind, count in sorted(events_ring["by_kind"].items()):
+            if _is_number(count):
+                kept.add(count, {"kind": kind})
+        if kept.samples:
+            out.append(kept)
+    return out
+
+
+def _backend_families(backends) -> list[MetricFamily]:
+    if not isinstance(backends, dict):
+        return []
+    family = MetricFamily(
+        "repro_backend_events",
+        "counter",
+        "Backend registry lifetime counters (compiles, artifact ops).",
+    )
+    for backend in sorted(backends):
+        counters = backends[backend]
+        if not isinstance(counters, dict):
+            continue
+        for event in sorted(counters):
+            if _is_number(counters[event]):
+                family.add(
+                    counters[event],
+                    {"backend": backend, "event": event},
+                    suffix="_total",
+                )
+    return [family] if family.samples else []
+
+
+def _profile_families(profiles) -> list[MetricFamily]:
+    if not isinstance(profiles, dict) or not isinstance(
+        profiles.get("totals"), dict
+    ):
+        return []
+    family = MetricFamily(
+        "repro_kernel_profile",
+        "counter",
+        "Aggregated kernel profiling counters across live recorders.",
+    )
+    for counter in sorted(profiles["totals"]):
+        value = profiles["totals"][counter]
+        if _is_number(value):
+            family.add(value, {"counter": counter}, suffix="_total")
+    return [family] if family.samples else []
+
+
+def _serving_families(serving) -> list[MetricFamily]:
+    if not isinstance(serving, dict):
+        return []
+    servers = {
+        name: snap
+        for name, snap in sorted(serving.items())
+        if isinstance(snap, dict)  # failed providers render nothing
+    }
+    out: list[MetricFamily] = []
+
+    for key, help_text in _SERVING_COUNTERS:
+        family = MetricFamily(f"repro_serving_{key}", "counter", help_text)
+        for name, snap in servers.items():
+            if _is_number(snap.get(key)):
+                family.add(snap[key], {"server": name}, suffix="_total")
+        if family.samples:
+            out.append(family)
+
+    resident = MetricFamily(
+        "repro_serving_models", "gauge", "Models currently registered."
+    )
+    predictors = MetricFamily(
+        "repro_serving_predictors_resident",
+        "gauge",
+        "Compiled predictors resident in the cache.",
+    )
+    for name, snap in servers.items():
+        if _is_number(snap.get("models_registered")):
+            resident.add(snap["models_registered"], {"server": name})
+        if _is_number(snap.get("predictors_resident")):
+            predictors.add(snap["predictors_resident"], {"server": name})
+    out.extend(f for f in (resident, predictors) if f.samples)
+
+    quantiles = MetricFamily(
+        "repro_serving_latency_quantile_seconds",
+        "gauge",
+        "Nearest-rank latency percentiles over the sliding window.",
+    )
+    for name, snap in servers.items():
+        latency = snap.get("latency")
+        if not isinstance(latency, dict):
+            continue
+        for key, quantile in (
+            ("p50", "0.5"),
+            ("p90", "0.9"),
+            ("p99", "0.99"),
+            ("p999", "0.999"),
+        ):
+            if _is_number(latency.get(key)):
+                quantiles.add(
+                    latency[key], {"server": name, "quantile": quantile}
+                )
+    if quantiles.samples:
+        out.append(quantiles)
+
+    for hist_key, help_text in _SERVING_HISTOGRAMS.items():
+        family = MetricFamily(
+            f"repro_serving_{hist_key}", "histogram", help_text
+        )
+        for name, snap in servers.items():
+            hists = snap.get("histograms")
+            if not isinstance(hists, dict):
+                continue
+            hist = hists.get(hist_key)
+            if not isinstance(hist, dict):
+                continue
+            labels = {"server": name}
+            cumulative = 0.0
+            for bound, count in hist.get("buckets", {}).items():
+                if not _is_number(count):
+                    continue
+                cumulative = count
+                family.add(
+                    count,
+                    {**labels, "le": _le_text(bound)},
+                    suffix="_bucket",
+                )
+            family.add(hist.get("count", cumulative), labels, suffix="_count")
+            family.add(hist.get("sum", 0.0), labels, suffix="_sum")
+        if family.samples:
+            out.append(family)
+
+    tunes = MetricFamily(
+        "repro_serving_tunes",
+        "counter",
+        "Background autotune lifecycle events.",
+    )
+    swaps = MetricFamily(
+        "repro_serving_hot_swaps",
+        "counter",
+        "Sessions atomically switched to a tuned predictor.",
+    )
+    for name, snap in servers.items():
+        tuning = snap.get("tuning")
+        if not isinstance(tuning, dict):
+            continue
+        for outcome in ("started", "completed", "failed", "cache_hits"):
+            if _is_number(tuning.get(outcome)):
+                tunes.add(
+                    tuning[outcome],
+                    {"server": name, "outcome": outcome},
+                    suffix="_total",
+                )
+        if _is_number(tuning.get("hot_swaps")):
+            swaps.add(tuning["hot_swaps"], {"server": name}, suffix="_total")
+    out.extend(f for f in (tunes, swaps) if f.samples)
+
+    precision_families = {
+        "predictors": MetricFamily(
+            "repro_serving_precision_predictors",
+            "gauge",
+            "Resident predictors by schedule precision.",
+        ),
+        "model_bytes": MetricFamily(
+            "repro_serving_precision_model_bytes",
+            "gauge",
+            "Total model buffer bytes by schedule precision.",
+        ),
+        "param_bytes": MetricFamily(
+            "repro_serving_precision_param_bytes",
+            "gauge",
+            "Threshold/leaf parameter bytes by schedule precision.",
+        ),
+        "scratch_bytes": MetricFamily(
+            "repro_serving_precision_scratch_bytes",
+            "gauge",
+            "Scratch arena bytes by schedule precision.",
+        ),
+    }
+    for name, snap in servers.items():
+        runtime = snap.get("runtime")
+        if not isinstance(runtime, dict):
+            continue
+        by_precision = runtime.get("bytes_by_precision")
+        if not isinstance(by_precision, dict):
+            continue
+        for precision, slot in sorted(by_precision.items()):
+            if not isinstance(slot, dict):
+                continue
+            for key, family in precision_families.items():
+                if _is_number(slot.get(key)):
+                    family.add(
+                        slot[key], {"server": name, "precision": precision}
+                    )
+    out.extend(f for f in precision_families.values() if f.samples)
+    return out
+
+
+def _gauge_families(gauges) -> list[MetricFamily]:
+    if not isinstance(gauges, dict):
+        return []
+    family = MetricFamily(
+        "repro_gauge", "gauge", "Ad-hoc registered gauges (numeric only)."
+    )
+    for name in sorted(gauges):
+        if _is_number(gauges[name]):
+            family.add(gauges[name], {"name": name})
+    return [family] if family.samples else []
+
+
+# ----------------------------------------------------------------------
+# Parsing / validation
+# ----------------------------------------------------------------------
+_SUFFIXES = {
+    "counter": ("_total", "_created"),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_count", "_sum", "_created"),
+    "summary": ("", "_count", "_sum", "_created"),
+    "info": ("_info",),
+    "unknown": ("",),
+}
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Strictly parse an OpenMetrics text document.
+
+    Returns ``{family name: {"type", "help", "samples": [(suffix, labels,
+    value)]}}``; raises :class:`ValueError` with a line-numbered message on
+    the first structural violation. Covers the rules our exporter (and any
+    honest scraper) depends on: syntax, TYPE-before-sample ordering, family
+    contiguity, counter ``_total`` suffixes, cumulative histogram buckets
+    with a final ``le="+Inf"`` and the ``# EOF`` terminator.
+    """
+    families: dict[str, dict] = {}
+    finished: set[str] = set()
+    current: str | None = None
+    saw_eof = False
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for lineno, line in enumerate(lines, start=1):
+        if saw_eof:
+            raise ValueError(f"line {lineno}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            current = _parse_comment(line, lineno, families, finished, current)
+            continue
+        if not line.strip():
+            raise ValueError(f"line {lineno}: blank lines are not allowed")
+        current = _parse_sample(line, lineno, families, finished, current)
+    if not saw_eof:
+        raise ValueError("document does not end with # EOF")
+    for name, family in families.items():
+        if family["type"] == "histogram":
+            _check_histogram(name, family)
+        if family["type"] == "counter":
+            for suffix, _labels, value in family["samples"]:
+                if value < 0:
+                    raise ValueError(f"counter {name} has negative sample")
+    return families
+
+
+def _parse_comment(line, lineno, families, finished, current):
+    parts = line.split(" ", 3)
+    if len(parts) < 3 or parts[0] != "#" or parts[1] not in ("HELP", "TYPE"):
+        raise ValueError(f"line {lineno}: malformed comment {line!r}")
+    keyword, name = parts[1], parts[2]
+    if not _METRIC_NAME_RE.match(name):
+        raise ValueError(f"line {lineno}: invalid metric name {name!r}")
+    if name in finished and name != current:
+        raise ValueError(f"line {lineno}: family {name} is interleaved")
+    if name not in families:
+        if current is not None:
+            finished.add(current)
+        families[name] = {"type": "unknown", "help": "", "samples": []}
+    if keyword == "TYPE":
+        mtype = parts[3] if len(parts) > 3 else ""
+        if families[name]["samples"]:
+            raise ValueError(
+                f"line {lineno}: TYPE for {name} after its samples"
+            )
+        if mtype not in _SUFFIXES:
+            raise ValueError(f"line {lineno}: unknown type {mtype!r}")
+        families[name]["type"] = mtype
+    else:
+        families[name]["help"] = parts[3] if len(parts) > 3 else ""
+    return name
+
+
+def _parse_sample(line, lineno, families, finished, current):
+    name_end = len(line)
+    for i, ch in enumerate(line):
+        if ch in "{ ":
+            name_end = i
+            break
+    sample_name = line[:name_end]
+    if not _METRIC_NAME_RE.match(sample_name):
+        raise ValueError(f"line {lineno}: invalid sample name {sample_name!r}")
+    rest = line[name_end:]
+    labels: dict[str, str] = {}
+    if rest.startswith("{"):
+        labels, rest = _parse_labels(rest, lineno)
+    if not rest.startswith(" "):
+        raise ValueError(f"line {lineno}: missing value separator")
+    value_text = rest.strip().split(" ")[0]
+    try:
+        value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+    except ValueError:
+        raise ValueError(
+            f"line {lineno}: unparseable value {value_text!r}"
+        ) from None
+
+    family_name, suffix = _resolve_family(sample_name, families)
+    if family_name is None:
+        raise ValueError(
+            f"line {lineno}: sample {sample_name!r} has no TYPE declaration"
+        )
+    if family_name in finished and family_name != current:
+        raise ValueError(f"line {lineno}: family {family_name} is interleaved")
+    mtype = families[family_name]["type"]
+    if suffix not in _SUFFIXES.get(mtype, ("",)):
+        raise ValueError(
+            f"line {lineno}: suffix {suffix!r} invalid for {mtype} "
+            f"family {family_name}"
+        )
+    families[family_name]["samples"].append((suffix, labels, value))
+    if current is not None and current != family_name:
+        finished.add(current)
+    return family_name
+
+
+def _resolve_family(sample_name: str, families: dict):
+    """Longest declared family name this sample (with suffix) belongs to."""
+    candidates = []
+    for family_name, family in families.items():
+        if not sample_name.startswith(family_name):
+            continue
+        suffix = sample_name[len(family_name):]
+        if suffix in _SUFFIXES.get(family["type"], ("",)):
+            candidates.append((len(family_name), family_name, suffix))
+    if not candidates:
+        return None, None
+    _len, family_name, suffix = max(candidates)
+    return family_name, suffix
+
+
+def _parse_labels(text: str, lineno: int) -> tuple[dict, str]:
+    """Parse ``{name="value",...}``; returns (labels, remaining text)."""
+    labels: dict[str, str] = {}
+    i = 1  # past '{'
+    while True:
+        if i >= len(text):
+            raise ValueError(f"line {lineno}: unterminated label set")
+        if text[i] == "}":
+            return labels, text[i + 1:]
+        j = i
+        while j < len(text) and text[j] not in "=}":
+            j += 1
+        label_name = text[i:j]
+        if not _LABEL_NAME_RE.match(label_name):
+            raise ValueError(f"line {lineno}: invalid label name {label_name!r}")
+        if j >= len(text) or text[j] != "=" or text[j + 1: j + 2] != '"':
+            raise ValueError(f"line {lineno}: malformed label value")
+        j += 2
+        value_chars: list[str] = []
+        while j < len(text) and text[j] != '"':
+            if text[j] == "\\":
+                j += 1
+                if j >= len(text):
+                    raise ValueError(f"line {lineno}: dangling escape")
+                value_chars.append(
+                    {"n": "\n", '"': '"', "\\": "\\"}.get(text[j], text[j])
+                )
+            else:
+                value_chars.append(text[j])
+            j += 1
+        if j >= len(text):
+            raise ValueError(f"line {lineno}: unterminated label value")
+        if label_name in labels:
+            raise ValueError(f"line {lineno}: duplicate label {label_name!r}")
+        labels[label_name] = "".join(value_chars)
+        j += 1  # past closing quote
+        if j < len(text) and text[j] == ",":
+            j += 1
+        i = j
+
+
+def _check_histogram(name: str, family: dict) -> None:
+    by_series: dict[tuple, list[tuple[float, float]]] = {}
+    counts: dict[tuple, float] = {}
+    for suffix, labels, value in family["samples"]:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        if suffix == "_bucket":
+            le = labels.get("le")
+            if le is None:
+                raise ValueError(f"histogram {name} bucket without le label")
+            by_series.setdefault(key, []).append(
+                (float(le.replace("+Inf", "inf")), value)
+            )
+        elif suffix == "_count":
+            counts[key] = value
+    for key, buckets in by_series.items():
+        bounds = [b for b, _ in buckets]
+        values = [v for _, v in buckets]
+        if bounds != sorted(bounds):
+            raise ValueError(f"histogram {name} buckets out of le order")
+        if bounds[-1] != float("inf"):
+            raise ValueError(f"histogram {name} is missing the +Inf bucket")
+        if values != sorted(values):
+            raise ValueError(f"histogram {name} buckets are not cumulative")
+        if key in counts and values[-1] != counts[key]:
+            raise ValueError(
+                f"histogram {name} +Inf bucket disagrees with _count"
+            )
+
+
+# ----------------------------------------------------------------------
+# HTTP endpoint
+# ----------------------------------------------------------------------
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """``/metrics`` (OpenMetrics), ``/snapshot`` (JSON), ``/events`` (NDJSON)."""
+
+    server_version = "repro-observe"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path in ("/", "/metrics"):
+                body = render_openmetrics().encode("utf-8")
+                ctype = OPENMETRICS_CONTENT_TYPE
+            elif path == "/snapshot":
+                body = (registry.export_json(indent=2) + "\n").encode("utf-8")
+                ctype = "application/json; charset=utf-8"
+            elif path == "/events":
+                lines = [
+                    json.dumps(event) for event in _events.recorder.tail(n=10**9)
+                ]
+                body = ("\n".join(lines) + "\n").encode("utf-8")
+                ctype = "application/x-ndjson; charset=utf-8"
+            else:
+                self.send_error(404, "unknown path (try /metrics)")
+                return
+        except Exception as exc:  # noqa: BLE001 - a scrape must not kill the server
+            self.send_error(500, f"snapshot failed: {exc}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # noqa: D102 - silence per-request logs
+        pass
+
+
+def start_metrics_server(
+    port: int = DEFAULT_METRICS_PORT, addr: str = "127.0.0.1"
+) -> ThreadingHTTPServer:
+    """Serve the registry over HTTP on a daemon thread; returns the server.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address[1]`` (tests do). Call ``server.shutdown()``
+    to stop.
+    """
+    server = ThreadingHTTPServer((addr, port), _MetricsHandler)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics-http", daemon=True
+    )
+    thread.start()
+    return server

@@ -14,6 +14,12 @@ observability surface behind a single ``snapshot()`` / ``export_json()``:
   registry dispatch and the AOT loader
 * ``serving``      — the metrics snapshot of every live ``ModelServer``
   (servers register on construction, unregister on close)
+* ``spans``        — the most recent sampled request span trees
+  (:data:`repro.observe.spans.RING`, populated by servers running with
+  ``ServerConfig(trace_sample > 0)``)
+* ``events``       — the flight recorder: compiles, hot swaps, tune
+  outcomes, fallbacks, errors, slow requests
+  (:data:`repro.observe.events.recorder`)
 * ``gauges``       — ad-hoc point-in-time providers registered by anyone
 
 The snapshot's *top-level keys are a stable schema* (``SNAPSHOT_KEYS``,
@@ -30,7 +36,9 @@ import threading
 from collections import deque
 from typing import Callable
 
+from repro.observe import events as _events
 from repro.observe import profile as _profile
+from repro.observe import spans as _spans
 from repro.observe.trace import CompilationTrace, jsonable
 
 #: stable top-level snapshot schema (guarded by tests + CI)
@@ -42,13 +50,16 @@ SNAPSHOT_KEYS = (
     "tunes",
     "backends",
     "serving",
+    "spans",
+    "events",
     "gauges",
 )
 
-#: v4: serving snapshots gained the ``bytes_by_precision`` gauge (model
-#: and scratch bytes split by schedule precision, so quantized int16/int8
-#: footprint savings are visible in the dump).
-SCHEMA_VERSION = 4
+#: v5: two new top-level keys — ``spans`` (sampled request span trees from
+#: the serving layer) and ``events`` (the flight recorder) — plus serving
+#: snapshots gained ``histograms`` (queue wait / kernel time / latency /
+#: batch size buckets) and the kernel pool gained task timing counters.
+SCHEMA_VERSION = 5
 
 #: recent compilation traces kept for the snapshot
 TRACE_RING_CAPACITY = 32
@@ -143,6 +154,11 @@ class Registry:
             },
             "backends": backends,
             "serving": {name: _call_safe(fn) for name, fn in serving.items()},
+            # The span ring and flight recorder are process-wide singletons
+            # (servers write into them directly); the registry reads them at
+            # snapshot time like any other provider.
+            "spans": _call_safe(_spans.RING.snapshot),
+            "events": _call_safe(_events.recorder.snapshot),
             "gauges": {name: _call_safe(fn) for name, fn in gauges.items()},
         }
 

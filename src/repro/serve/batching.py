@@ -64,11 +64,15 @@ class BatchingPolicy:
 
 
 class _Request:
-    __slots__ = ("rows", "future")
+    __slots__ = ("rows", "future", "enqueued_s", "trace")
 
-    def __init__(self, rows: np.ndarray, future: Future) -> None:
+    def __init__(self, rows: np.ndarray, future: Future, trace=None) -> None:
         self.rows = rows
         self.future = future
+        # Enqueue timestamp feeds the queue-wait histogram (always) and the
+        # request trace's queue_wait stage (when the request is sampled).
+        self.enqueued_s = time.perf_counter()
+        self.trace = trace
 
 
 _STOP = object()
@@ -100,8 +104,14 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def submit(self, rows: np.ndarray) -> Future:
-        """Enqueue ``rows``; the future resolves to their result slice."""
+    def submit(self, rows: np.ndarray, trace=None) -> Future:
+        """Enqueue ``rows``; the future resolves to their result slice.
+
+        ``trace`` (a :class:`repro.observe.spans.RequestTrace`, when the
+        request is sampled) rides along with the request: the worker
+        records its ``queue_wait``/``assemble``/``kernel`` stages, and the
+        caller — synchronized by the future — finishes the tree.
+        """
         if self._closed.is_set():
             raise ServingError("micro-batcher is closed")
         future: Future = Future()
@@ -111,7 +121,9 @@ class MicroBatcher:
         # thread-local scratch arenas and unlocked state), so resolving
         # inline on the caller thread would violate that contract.
         try:
-            self._queue.put(_Request(rows, future), timeout=self.policy.submit_timeout_s)
+            self._queue.put(
+                _Request(rows, future, trace), timeout=self.policy.submit_timeout_s
+            )
         except queue.Full:
             raise ServingError(
                 f"micro-batch queue full ({self.policy.queue_depth} pending); "
@@ -119,9 +131,9 @@ class MicroBatcher:
             ) from None
         return future
 
-    def predict(self, rows: np.ndarray) -> np.ndarray:
+    def predict(self, rows: np.ndarray, trace=None) -> np.ndarray:
         """Blocking convenience: ``submit`` + wait."""
-        return self.submit(rows).result()
+        return self.submit(rows, trace=trace).result()
 
     # ------------------------------------------------------------------
     # Worker side
@@ -153,13 +165,24 @@ class MicroBatcher:
         self._drain_rejecting()
 
     def _execute(self, batch: list[_Request], num_rows: int) -> None:
+        started = time.perf_counter()
+        for req in batch:
+            self.metrics.record_queue_wait(started - req.enqueued_s)
+            if req.trace is not None:
+                req.trace.stage("queue_wait", now=started)
         self.metrics.record_batch(num_rows, len(batch))
         try:
             if len(batch) == 1:
-                results = self.run_batch(batch[0].rows)
+                stacked = batch[0].rows
             else:
                 stacked = np.concatenate([req.rows for req in batch], axis=0)
-                results = self.run_batch(stacked)
+            assembled = time.perf_counter()
+            results = self.run_batch(stacked)
+            finished = time.perf_counter()
+            for req in batch:
+                if req.trace is not None:
+                    req.trace.stage("assemble", now=assembled)
+                    req.trace.stage("kernel", now=finished)
         except BaseException as exc:
             for req in batch:
                 if not req.future.set_running_or_notify_cancel():

@@ -9,9 +9,66 @@ monitoring endpoints can read the whole surface atomically.
 
 from __future__ import annotations
 
+import math
 import threading
+from bisect import bisect_left
 from collections import Counter
 from typing import Callable
+
+#: default bucket upper bounds (seconds) for the latency/queue-wait/kernel
+#: histograms — Prometheus-style sub-millisecond to multi-second coverage
+TIME_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: default bucket upper bounds for rows-per-batch
+ROWS_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class Histogram:
+    """Fixed-bound histogram with an implicit ``+Inf`` overflow bucket.
+
+    Counts are stored per bucket (non-cumulative); :meth:`snapshot`
+    renders them cumulatively in the OpenMetrics convention —
+    ``buckets[le]`` is the number of observations ``<= le``, ending with
+    ``"+Inf"`` — alongside ``sum`` and ``count``, which is exactly what
+    :mod:`repro.observe.export` needs to emit ``_bucket``/``_sum``/
+    ``_count`` samples. Not internally locked: every caller in this
+    module records under the owning :class:`ServingMetrics` lock.
+    """
+
+    __slots__ = ("bounds", "_counts", "sum", "count")
+
+    def __init__(self, bounds) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self._counts = [0] * (len(self.bounds) + 1)  # last = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def record(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def snapshot(self) -> dict:
+        buckets: dict[str, int] = {}
+        cumulative = 0
+        for bound, count in zip(self.bounds, self._counts):
+            cumulative += count
+            buckets[repr(bound)] = cumulative
+        buckets["+Inf"] = self.count
+        return {"buckets": buckets, "sum": self.sum, "count": self.count}
+
+    def clear(self) -> None:
+        self._counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, sum={self.sum:.6f})"
 
 
 class LatencyWindow:
@@ -56,12 +113,23 @@ class LatencyWindow:
         return self._sorted
 
     def percentile(self, p: float) -> float | None:
-        """Nearest-rank percentile (``p`` in [0, 100]); None when empty."""
+        """Nearest-rank percentile (``p`` in [0, 100]); None when empty.
+
+        Uses the standard nearest-rank definition: the smallest sample
+        whose cumulative frequency reaches ``p``% — index
+        ``ceil(p/100 * n) - 1`` in the sorted window (0-indexed), clamped
+        to ``[0, n-1]``. No interpolation is performed: every value
+        returned is an actually observed latency. For windows smaller
+        than the requested rank resolution the query saturates at the
+        window extremes — e.g. p99.9 of a 100-sample window is the
+        largest sample, and any ``p > 0`` over a single-sample window is
+        that sample. ``p = 0`` returns the window minimum.
+        """
         if not self._ring:
             return None
         ordered = self._ordered()
-        rank = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
+        rank = math.ceil((p / 100.0) * len(ordered)) - 1
+        return ordered[min(len(ordered) - 1, max(0, rank))]
 
     def max(self) -> float | None:
         """Largest latency currently inside the window; None when empty."""
@@ -88,13 +156,22 @@ class ServingMetrics:
     ``batches``             micro-batches executed
     ``batch_rows_hist``     {rows per executed batch: count}
     ``batch_requests_hist`` {requests coalesced per batch: count}
-    ``latency``             {count, p50, p90, p99, window_max, all_time_max,
-                            max} in seconds. Percentiles and ``window_max``
-                            cover the bounded sliding window only;
-                            ``all_time_max`` (and its legacy alias ``max``)
-                            covers every request since construction/reset —
-                            the two diverge once the window rotates past a
-                            spike.
+    ``latency``             {count, p50, p90, p99, p999, window_max,
+                            all_time_max, max} in seconds. Percentiles
+                            (nearest-rank, see
+                            :meth:`LatencyWindow.percentile`) and
+                            ``window_max`` cover the bounded sliding window
+                            only; ``all_time_max`` (and its legacy alias
+                            ``max``) covers every request since
+                            construction/reset — the two diverge once the
+                            window rotates past a spike.
+    ``histograms``          fixed-bucket histograms in the OpenMetrics
+                            cumulative convention (see :class:`Histogram`):
+                            ``latency_seconds`` (per request),
+                            ``queue_wait_seconds`` (per request, micro-batch
+                            enqueue → batch start), ``kernel_seconds`` (per
+                            executed batch), ``batch_rows`` (per executed
+                            batch).
     ``tuning``              background-autotune lifecycle: ``started``,
                             ``completed``, ``failed``, ``cache_hits``
                             (persisted warm starts), ``hot_swaps``
@@ -124,6 +201,12 @@ class ServingMetrics:
         self.batch_requests_hist: Counter[int] = Counter()
         self._latency = LatencyWindow(latency_window)
         self._max_latency = 0.0
+        self._histograms: dict[str, Histogram] = {
+            "latency_seconds": Histogram(TIME_BUCKETS),
+            "queue_wait_seconds": Histogram(TIME_BUCKETS),
+            "kernel_seconds": Histogram(TIME_BUCKETS),
+            "batch_rows": Histogram(ROWS_BUCKETS),
+        }
         self.tunes_started = 0
         self.tunes_completed = 0
         self.tunes_failed = 0
@@ -158,8 +241,19 @@ class ServingMetrics:
             self.requests += 1
             self.rows += int(num_rows)
             self._latency.record(seconds)
+            self._histograms["latency_seconds"].record(seconds)
             if seconds > self._max_latency:
                 self._max_latency = seconds
+
+    def record_queue_wait(self, seconds: float) -> None:
+        """One request's micro-batch queue wait (enqueue → batch start)."""
+        with self._lock:
+            self._histograms["queue_wait_seconds"].record(seconds)
+
+    def record_kernel_time(self, seconds: float) -> None:
+        """One executed batch's kernel (or fallback executor) wall time."""
+        with self._lock:
+            self._histograms["kernel_seconds"].record(seconds)
 
     def record_error(self) -> None:
         with self._lock:
@@ -192,6 +286,7 @@ class ServingMetrics:
             self.batches += 1
             self.batch_rows_hist[int(num_rows)] += 1
             self.batch_requests_hist[int(num_requests)] += 1
+            self._histograms["batch_rows"].record(num_rows)
 
     def register_gauge(self, name: str, fn: Callable[[], object]) -> None:
         """Attach a point-in-time gauge evaluated on every snapshot.
@@ -232,6 +327,7 @@ class ServingMetrics:
             "p50": self._latency.percentile(50),
             "p90": self._latency.percentile(90),
             "p99": self._latency.percentile(99),
+            "p999": self._latency.percentile(99.9),
             "window_max": self._latency.max(),
             "all_time_max": self._max_latency if any_seen else None,
             "max": self._max_latency if any_seen else None,
@@ -257,6 +353,8 @@ class ServingMetrics:
             self.batch_requests_hist.clear()
             self._latency.clear()
             self._max_latency = 0.0
+            for histogram in self._histograms.values():
+                histogram.clear()
             self.tunes_started = 0
             self.tunes_completed = 0
             self.tunes_failed = 0
@@ -281,6 +379,10 @@ class ServingMetrics:
                 "batch_rows_hist": dict(self.batch_rows_hist),
                 "batch_requests_hist": dict(self.batch_requests_hist),
                 "latency": self._latency_dict(),
+                "histograms": {
+                    name: hist.snapshot()
+                    for name, hist in self._histograms.items()
+                },
                 "tuning": {
                     "started": self.tunes_started,
                     "completed": self.tunes_completed,

@@ -21,11 +21,13 @@ from repro.autotune.persist import ScheduleCache, default_cache_path
 from repro.autotune.search import autotune
 from repro.autotune.space import TuningSpace
 from repro.backend.jit import predictor_cache_key
-from repro.backend.parallel import get_pool, pool_stats
+from repro.backend.parallel import get_pool, pool_stats, set_task_timing
 from repro.config import Schedule
 from repro.errors import ServingError
 from repro.forest.ensemble import Forest
+from repro.observe import events as flight
 from repro.observe import registry as observe_registry
+from repro.observe.spans import RequestTracer
 from repro.perf.timer import measure
 from repro.serve.batching import BatchingPolicy
 from repro.serve.cache import DEFAULT_PREDICTOR_CACHE_CAP, PredictorCache
@@ -72,6 +74,20 @@ class ServerConfig:
         Timing discipline per candidate during background tuning — looser
         than offline benchmarking on purpose: the tuner shares the machine
         with live traffic.
+    trace_sample:
+        Fraction of ``predict`` calls recorded as request span trees in
+        :data:`repro.observe.spans.RING` (deterministic stride sampling,
+        no RNG on the request path). ``0.0`` (the default) wires no
+        tracer at all — the request path pays one ``is None`` test and
+        compiled kernels are byte-identical to an untraced server.
+        ``1.0`` traces every request.
+    slow_request_s:
+        Requests slower than this (seconds) are logged to the flight
+        recorder as ``slow_request`` events; ``None`` disables.
+    flight_log:
+        Path of a JSON-lines file mirroring every flight-recorder event
+        (``python -m repro.observe tail --follow`` reads it live);
+        ``None`` keeps events in memory only.
     """
 
     cache_capacity: int = DEFAULT_PREDICTOR_CACHE_CAP
@@ -85,6 +101,9 @@ class ServerConfig:
     tune_patience: int | None = 8
     tune_repeats: int = 1
     tune_min_time_s: float = 0.005
+    trace_sample: float = 0.0
+    slow_request_s: float | None = 0.25
+    flight_log: str | None = None
 
 
 class ModelServer:
@@ -92,6 +111,25 @@ class ModelServer:
 
     def __init__(self, config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
+        if not 0.0 <= self.config.trace_sample <= 1.0:
+            raise ServingError(
+                f"trace_sample must be in [0, 1], got {self.config.trace_sample}"
+            )
+        # trace_sample == 0 wires *no* tracer: sessions then pay a single
+        # ``is None`` test per request and nothing trace-related is ever
+        # constructed — the zero-overhead-when-off guarantee.
+        self.tracer = (
+            RequestTracer(self.config.trace_sample)
+            if self.config.trace_sample > 0.0
+            else None
+        )
+        if self.tracer is not None:
+            # Opting into request tracing also opts the shared kernel pool
+            # into per-task wall-clock accounting (surfaced by the
+            # OpenMetrics exporter); both stay off on untraced deployments.
+            set_task_timing(True)
+        if self.config.flight_log is not None:
+            flight.recorder.attach_file(self.config.flight_log)
         self.metrics = ServingMetrics()
         self.cache = PredictorCache(
             capacity=self.config.cache_capacity, metrics=self.metrics
@@ -233,6 +271,9 @@ class ModelServer:
                 threads=self.config.threads if threads == "inherit" else threads,
                 allow_fallback=self.config.allow_fallback,
                 validate_inputs=self.config.validate_inputs,
+                name=name,
+                tracer=self.tracer,
+                slow_request_s=self.config.slow_request_s,
             )
             with self._lock:
                 old = self._sessions.get(name)
@@ -251,6 +292,9 @@ class ModelServer:
             threads=self.config.threads if threads == "inherit" else threads,
             allow_fallback=self.config.allow_fallback,
             validate_inputs=self.config.validate_inputs,
+            name=name,
+            tracer=self.tracer,
+            slow_request_s=self.config.slow_request_s,
         )
         with self._lock:
             old = self._sessions.get(name)
@@ -332,6 +376,7 @@ class ModelServer:
             # poison the pool worker or take the serving path down; the
             # session keeps serving on its registration-time predictor.
             self.metrics.record_tune_failed()
+            flight.record("tune_failed", model=name, error=str(exc))
             return {"name": name, "error": str(exc), "swapped": False}
 
     def _maybe_swap(self, name, session, rows, result) -> dict:
@@ -367,6 +412,13 @@ class ModelServer:
             self.cache.put(key, result.best_predictor)
             session.swap_predictor(result.best_predictor, result.best_schedule)
             info["swapped"] = True
+            flight.record(
+                "hot_swap",
+                model=name,
+                baseline_per_row_us=round(baseline_us, 4),
+                tuned_per_row_us=round(tuned_us, 4),
+                schedule=result.best_schedule.to_dict(),
+            )
         return info
 
     def wait_for_tunes(self, timeout: float | None = None) -> bool:
@@ -424,6 +476,13 @@ class ModelServer:
 
     def close(self) -> None:
         observe_registry.unregister(self._registry_name)
+        # The flight recorder is process-wide; only withdraw the mirror
+        # file if it is still the one this server attached.
+        if (
+            self.config.flight_log is not None
+            and flight.recorder.file_path == self.config.flight_log
+        ):
+            flight.recorder.detach_file()
         with self._lock:
             sessions, self._sessions = list(self._sessions.values()), {}
             self._closed = True

@@ -24,6 +24,7 @@ from repro.backend.jit import (
 from repro.config import Schedule
 from repro.errors import CompilerError, ServingError
 from repro.forest.ensemble import Forest, sigmoid, softmax
+from repro.observe import events as flight
 from repro.serve.batching import BatchingPolicy, MicroBatcher
 from repro.serve.cache import PredictorCache
 from repro.serve.fallback import InterpreterPredictor, ReferencePredictor
@@ -63,6 +64,16 @@ class InferenceSession:
         instead of raising.
     validate_inputs:
         Reject NaN rows at predict time.
+    name:
+        The registration name (used to label request spans and flight
+        events); defaults to a fingerprint prefix.
+    tracer:
+        A :class:`repro.observe.spans.RequestTracer` sampling requests
+        into span trees, or ``None`` (default) for no tracing — the
+        request path then pays exactly one ``is None`` test.
+    slow_request_s:
+        Latency threshold above which a request is logged to the flight
+        recorder as a ``slow_request`` event; ``None`` disables.
     """
 
     def __init__(
@@ -77,10 +88,16 @@ class InferenceSession:
         threads: int | None = None,
         allow_fallback: bool = True,
         validate_inputs: bool = True,
+        name: str | None = None,
+        tracer=None,
+        slow_request_s: float | None = None,
     ) -> None:
         if forest is None and predictor is None:
             raise ServingError("a session needs a forest or a preloaded predictor")
         self.forest = forest
+        self.name = name
+        self._tracer = tracer
+        self._slow_request_s = slow_request_s
         self.metrics = metrics if metrics is not None else ServingMetrics()
         # NB: `cache or ...` would be wrong — an *empty* cache is falsy.
         self.cache = cache if cache is not None else PredictorCache(metrics=self.metrics)
@@ -113,6 +130,8 @@ class InferenceSession:
             self.predictor, self.cache_hit = self.cache.get_or_compile(
                 self.cache_key, self._compile
             )
+        if self.name is None:
+            self.name = self.fingerprint[:12]
         self._batcher: MicroBatcher | None = None
         if batching is not None:
             self._batcher = MicroBatcher(
@@ -125,8 +144,9 @@ class InferenceSession:
     # ------------------------------------------------------------------
     def _compile(self):
         self.metrics.record_compile()
+        label = self.name or self.fingerprint[:12]
         try:
-            return compile_model(
+            predictor = compile_model(
                 self.forest, self.schedule, validate_inputs=self.validate_inputs
             )
         except CompilerError as exc:
@@ -134,12 +154,30 @@ class InferenceSession:
                 raise
             self.fallback_error = exc
             self.metrics.record_fallback()
+            flight.record(
+                "fallback",
+                model=label,
+                fingerprint=self.fingerprint[:12],
+                error=str(exc),
+            )
             try:
                 lir = _lower_only(self.forest, self.schedule)
                 return InterpreterPredictor(self.forest, lir, self.validate_inputs)
             except CompilerError:
                 # Even lowering failed: serve the reference semantics.
                 return ReferencePredictor(self.forest, self.schedule, self.validate_inputs)
+        trace = getattr(predictor, "trace", None)
+        flight.record(
+            "compile",
+            model=label,
+            fingerprint=self.fingerprint[:12],
+            backend=self.schedule.backend,
+            precision=self.schedule.precision,
+            duration_ms=(
+                round(trace.total_seconds * 1e3, 3) if trace is not None else None
+            ),
+        )
+        return predictor
 
     @property
     def used_fallback(self) -> bool:
@@ -178,22 +216,60 @@ class InferenceSession:
     # ------------------------------------------------------------------
     def _run_raw(self, rows: np.ndarray) -> np.ndarray:
         """Execute one (possibly coalesced) batch of raw margins."""
-        return self.predictor.raw_predict(rows, threads=self.threads)
+        start = time.perf_counter()
+        out = self.predictor.raw_predict(rows, threads=self.threads)
+        self.metrics.record_kernel_time(time.perf_counter() - start)
+        return out
 
     def raw_predict(self, rows: np.ndarray) -> np.ndarray:
-        """Raw margins, through the micro-batcher when one is configured."""
+        """Raw margins, through the micro-batcher when one is configured.
+
+        When this session has a tracer and the request is sampled, the
+        whole call is covered by a span tree: ``admission`` (input
+        coercion), then either ``queue_wait``/``assemble``/``kernel``
+        (batched, recorded by the batcher worker) or ``kernel`` (direct),
+        then ``aggregate`` (scatter/wake-up/bookkeeping). The stages are
+        contiguous marks, so their durations sum to the recorded request
+        latency by construction.
+        """
         start = time.perf_counter()
+        trace = (
+            self._tracer.maybe_trace(self.name, started_s=start)
+            if self._tracer is not None
+            else None
+        )
         rows = np.asarray(rows)
+        num_rows = rows.shape[0] if rows.ndim == 2 else 0
+        if trace is not None:
+            trace.rows = num_rows
+            trace.stage("admission")
         try:
             if self._batcher is not None:
-                out = self._batcher.predict(rows)
+                out = self._batcher.predict(rows, trace=trace)
             else:
                 out = self._run_raw(rows)
-        except BaseException:
+                if trace is not None:
+                    trace.stage("kernel")
+        except BaseException as exc:
             self.metrics.record_error()
+            flight.record("error", model=self.name, rows=num_rows, error=str(exc))
+            if trace is not None:
+                self._tracer.record(trace.finish(error=str(exc)))
             raise
-        self.metrics.record_request(rows.shape[0] if rows.ndim == 2 else 0,
-                                    time.perf_counter() - start)
+        if trace is not None:
+            trace.stage("aggregate")
+        elapsed = time.perf_counter() - start
+        self.metrics.record_request(num_rows, elapsed)
+        if trace is not None:
+            self._tracer.record(trace.finish())
+        if self._slow_request_s is not None and elapsed >= self._slow_request_s:
+            flight.record(
+                "slow_request",
+                model=self.name,
+                rows=num_rows,
+                latency_ms=round(elapsed * 1e3, 3),
+                trace_id=trace.trace_id if trace is not None else None,
+            )
         return out
 
     def predict(self, rows: np.ndarray) -> np.ndarray:

@@ -256,7 +256,22 @@ class TestRegistry:
     def test_snapshot_schema_is_stable(self):
         snap = Registry().snapshot()
         assert tuple(snap.keys()) == SNAPSHOT_KEYS
-        assert snap["schema_version"] == 4
+        assert snap["schema_version"] == 5
+        assert SNAPSHOT_KEYS == (
+            "schema_version",
+            "kernel_pool",
+            "traces",
+            "profiles",
+            "tunes",
+            "backends",
+            "serving",
+            "spans",
+            "events",
+            "gauges",
+        )
+        # the v5 keys are structured rings, present even when empty
+        assert set(snap["spans"]) >= {"recorded", "kept", "recent"}
+        assert set(snap["events"]) >= {"recorded", "kept", "by_kind", "recent"}
 
     def test_backend_events_accumulate(self):
         reg = Registry()
@@ -330,6 +345,29 @@ class TestRegistry:
         assert str(snap["gauges"]["bad"]).startswith("<error:")
         assert str(snap["serving"]["down"]).startswith("<error:")
         json.loads(reg.export_json())  # errors must stay serializable
+
+    def test_failing_provider_does_not_poison_siblings_or_schema(self):
+        # One raising provider must leave every sibling gauge readable and
+        # the top-level schema intact — across repeated snapshots (the
+        # failure must not latch) and with several failure flavors.
+        reg = Registry()
+        reg.register_gauge("before", lambda: 1)
+        reg.register_gauge("div", lambda: 1 / 0)
+        reg.register_gauge("key", lambda: {}["missing"])
+        reg.register_gauge("typ", lambda: len(None))
+        reg.register_gauge("after", lambda: {"nested": [1, 2]})
+        for _ in range(3):
+            snap = reg.snapshot()
+            assert tuple(snap.keys()) == SNAPSHOT_KEYS
+            assert snap["gauges"]["before"] == 1
+            assert snap["gauges"]["after"] == {"nested": [1, 2]}
+            assert str(snap["gauges"]["div"]).startswith("<error:")
+            assert str(snap["gauges"]["key"]).startswith("<error:")
+            assert str(snap["gauges"]["typ"]).startswith("<error:")
+        # recovery: replacing the provider clears the error on the next read
+        reg.register_gauge("div", lambda: 7)
+        assert reg.snapshot()["gauges"]["div"] == 7
+        json.loads(reg.export_json())
 
     def test_profiles_section_aggregates(self, trained_forest, test_rows):
         predictor = compile_model(trained_forest, Schedule(profile=True))

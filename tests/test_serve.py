@@ -1,5 +1,6 @@
 """Tests for the serving layer: cache, micro-batching, fallback, metrics."""
 
+import math
 import threading
 import time
 
@@ -506,13 +507,32 @@ class TestMetricsPrimitives:
                 ring[(i - 16) % 16] = float(v)
             if i % 7 == 0:  # interleave queries with records
                 ordered = sorted(ring)
-                for p in (0, 37, 50, 90, 100):
+                for p in (0, 37, 50, 90, 99.9, 100):
+                    # nearest-rank definition (see LatencyWindow.percentile)
                     rank = min(
                         len(ordered) - 1,
-                        max(0, round(p / 100.0 * (len(ordered) - 1))),
+                        max(0, math.ceil(p / 100.0 * len(ordered)) - 1),
                     )
                     assert w.percentile(p) == ordered[rank]
                 assert w.max() == ordered[-1]
+
+    def test_p999_saturates_to_max_on_small_windows(self):
+        from repro.serve.metrics import LatencyWindow
+
+        w = LatencyWindow(capacity=64)
+        for v in range(1, 33):  # 32 samples << 1000
+            w.record(float(v))
+        # nearest-rank: ceil(0.999 * 32) - 1 = 31 -> the max sample
+        assert w.percentile(99.9) == 32.0
+        assert w.percentile(99.9) == w.percentile(100)
+
+    def test_latency_dict_includes_p999(self):
+        metrics = ServingMetrics()
+        for v in range(1, 2001):
+            metrics.record_request(1, v / 1000.0)
+        lat = metrics.snapshot()["latency"]
+        assert lat["p999"] is not None
+        assert lat["p99"] <= lat["p999"] <= lat["window_max"]
 
     def test_window_max_vs_all_time_max(self):
         metrics = ServingMetrics(latency_window=2)
