@@ -208,7 +208,36 @@ def predict_cost(
     else:
         per_row_scale = 1.0
 
-    cost = profile.num_trees * steps_per_tree * per_step * per_row_scale
+    # --- profile-guided hot/cold split ----------------------------------
+    # The first `pgo` levels run check-free over compact prefix buffers
+    # with a much wider jam (HOT_CHUNK_CAP in the codegen), so those
+    # steps amortize dispatch further and skip the guard entirely; the
+    # remaining (cold) steps keep the full per_step cost.
+    hot_steps = 0.0
+    if schedule.pgo is not None and schedule.traversal == "tiled":
+        cutoff = (
+            schedule.pgo
+            if isinstance(schedule.pgo, int)
+            else max(1, int(profile.expected_depth or profile.mean_depth) - 1)
+        )
+        hot_levels = min(float(cutoff), max(0.0, depth - 1.0))
+        hot_steps = min(
+            max(0.0, steps_per_tree - 1.0), hot_levels / levels_per_step
+        )
+    if hot_steps > 0.0:
+        j_hot = min(64, 8 * j_eff, max(1, profile.num_trees))
+        hot_per_step = (
+            _OPS_PER_STEP * _DISPATCH_WEIGHT / j_hot + lane_work
+        ) * tail_waste
+        if schedule.layout != "array":
+            hot_per_step += 0.15 * t
+        steps_cost = (
+            (steps_per_tree - hot_steps) * per_step + hot_steps * hot_per_step
+        )
+    else:
+        steps_cost = steps_per_tree * per_step
+
+    cost = profile.num_trees * steps_cost * per_row_scale
     cost += _BATCH_FIXED / batch
     if schedule.precision in QUANTIZED_PRECISIONS:
         # Rank-coding prologue: one searchsorted dispatch per feature per

@@ -49,6 +49,10 @@ class TuningSpace:
     #: backend choice never changes compiled semantics, so the default axis
     #: stays singleton — widen it to also time e.g. ``aot_export`` builds
     backends: tuple[str, ...] = ("numpy_jit",)
+    #: hot-depth cutoffs for profile-guided hot/cold splitting
+    #: (:mod:`repro.pgo`); the default stays singleton ``None`` — widen to
+    #: e.g. ``(None, "auto", 2)`` to let the tuner time split kernels
+    pgo: tuple = (None,)
 
     def size(self) -> int:
         n = (
@@ -59,6 +63,7 @@ class TuningSpace:
             * len(self.interleaves)
             * len(self.layouts)
             * max(1, len(self.precisions))
+            * max(1, len(self.pgo))
         )
         # Alphas only matter for the hybrid tiling points.
         hybrid = sum(1 for t in self.tilings if t == "hybrid")
@@ -97,16 +102,18 @@ def schedule_grid(space: TuningSpace | None = None, base: Schedule | None = None
                             for alpha in alphas:
                                 for pad in space.pad_and_unroll:
                                     for interleave in space.interleaves:
-                                        yield base.with_(
-                                            precision=precision,
-                                            loop_order=loop_order,
-                                            layout=layout,
-                                            tile_size=tile_size,
-                                            tiling=tiling,
-                                            alpha=alpha,
-                                            beta=space.beta,
-                                            pad_and_unroll=pad,
-                                            peel_walk=True,
-                                            interleave=interleave,
-                                            backend=backend,
-                                        )
+                                        for pgo in space.pgo or (base.pgo,):
+                                            yield base.with_(
+                                                precision=precision,
+                                                loop_order=loop_order,
+                                                layout=layout,
+                                                tile_size=tile_size,
+                                                tiling=tiling,
+                                                alpha=alpha,
+                                                beta=space.beta,
+                                                pad_and_unroll=pad,
+                                                peel_walk=True,
+                                                interleave=interleave,
+                                                backend=backend,
+                                                pgo=pgo,
+                                            )

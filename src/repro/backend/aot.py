@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import weakref
 from dataclasses import asdict
 from pathlib import Path
 
@@ -335,7 +336,12 @@ def load_artifact(
     recorder = None
     if schedule.profile:
         recorder = ProfileRecorder(label=f"artifact-{manifest['fingerprint'][:8]}")
-        namespace["_P"] = recorder
+        # Weak proxy, strong ref on the predictor below: exec() closes a
+        # namespace<->kernel cycle only gc can break, and a strong `_P`
+        # would keep an evicted predictor's counters in aggregate_all()
+        # until collection. The proxy lets the recorder die by refcount
+        # with its ArtifactPredictor.
+        namespace["_P"] = weakref.proxy(recorder)
 
     kernel, code_hit = compile_source(source, namespace)
     observe_registry.record_backend_event(AotExportBackend.name, "artifact_loads")

@@ -71,6 +71,8 @@ validates rows before calling the kernel.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro.config import PRECISION_TABLE
@@ -159,6 +161,16 @@ class _GroupEmitter:
         # Number of LUT rows describing *real* tile shapes (the reserved
         # dummy row routes data-independently and is handled by masking).
         self.real_shapes = lir.lut.shape[0] - (1 if self.has_dummy else 0)
+        #: hot/cold split plan (Schedule(pgo=...)); None for ordinary groups
+        self.hot = group.hot
+        #: tile-buffer name infix: "" for the full buffers, "h" while the
+        #: hot prefix is emitted (see ``buf`` and ``emit_hot``)
+        self.p = ""
+
+    def buf(self, name: str) -> str:
+        """Group buffer reference, routed to the hot prefix copies while
+        the hot phase is being emitted (``g0_th`` vs ``g0_hth``)."""
+        return f"{self.g}_{self.p}{name}"
 
     # -- arena view management ----------------------------------------
     @property
@@ -259,10 +271,10 @@ class _GroupEmitter:
         if self.arena:
             self._eval_tile_arena(idx, feat_index)
             return
-        e, g = self.e, self.g
+        e = self.e
         single_shape = self.real_shapes == 1
-        e.emit(f"thr = _np.take({g}_th, {idx}, axis=0)")    # loadThresholds
-        e.emit(f"fidx = _np.take({g}_fi, {idx}, axis=0)")   # loadFeatureIndices
+        e.emit(f"thr = _np.take({self.buf('th')}, {idx}, axis=0)")    # loadThresholds
+        e.emit(f"fidx = _np.take({self.buf('fi')}, {idx}, axis=0)")   # loadFeatureIndices
         e.emit(f"feat = _np.take({self._rowsrc()}, {feat_index})")  # gatherFeatures
         e.emit("cmp = feat < thr")                          # vectorCompare
         if single_shape and self.width == 1:
@@ -276,7 +288,7 @@ class _GroupEmitter:
             self.prof(f"_C.lut_lookups += ({idx}).size")
             self._mask_dummies(idx)
             return
-        e.emit(f"sid = _np.take({g}_sid, {idx})")           # loadTileShape
+        e.emit(f"sid = _np.take({self.buf('sid')}, {idx})")  # loadTileShape
         e.emit(f"ci = _np.take(lut, sid * {self.lut_cols} + bits)")  # lookupChildIndex
         self.prof(f"_C.lut_lookups += ({idx}).size")
 
@@ -284,10 +296,10 @@ class _GroupEmitter:
         """Arena realization of the same op sequence: every temporary lands
         in a preallocated buffer via ``out=`` and in-range gathers use
         ``mode='clip'`` to skip NumPy's bounds-check buffering."""
-        e, g, W = self.e, self.g, self.width
+        e, W = self.e, self.width
         single_shape = self.real_shapes == 1
-        e.emit(f"_np.take({g}_th, {idx}, axis=0, mode='clip', out=thr)")
-        e.emit(f"_np.take({g}_fi, {idx}, axis=0, mode='clip', out=fidx)")
+        e.emit(f"_np.take({self.buf('th')}, {idx}, axis=0, mode='clip', out=thr)")
+        e.emit(f"_np.take({self.buf('fi')}, {idx}, axis=0, mode='clip', out=fidx)")
         if self.vec:
             e.emit(f"_np.add({feat_index}, fidx, out=gidx)")
             e.emit("_np.take(rowsf, gidx, mode='clip', out=feat)")
@@ -304,7 +316,7 @@ class _GroupEmitter:
             self.prof(f"_C.lut_lookups += ({idx}).size")
             self._mask_dummies_arena(idx)
             return
-        e.emit(f"_np.take({g}_sid, {idx}, mode='clip', out=sid)")
+        e.emit(f"_np.take({self.buf('sid')}, {idx}, mode='clip', out=sid)")
         e.emit(f"_np.multiply(sid, {self.lut_cols}, out=sid)")
         e.emit("_np.add(sid, bits, out=sid)")
         e.emit("_np.take(lut, sid, mode='clip', out=ci)")
@@ -350,12 +362,12 @@ class _GroupEmitter:
     def _mask_dummies(self, idx: str) -> None:
         """Zero the child index at dummy tiles (single-real-shape paths)."""
         if self.has_dummy:
-            self.e.emit(f"ci *= _np.take({self.g}_nd, {idx})")
+            self.e.emit(f"ci *= _np.take({self.buf('nd')}, {idx})")
 
     def _mask_dummies_arena(self, idx: str) -> None:
         if self.has_dummy:
             # `sid` is free here: single-real-shape paths never load shapes.
-            self.e.emit(f"_np.take({self.g}_nd, {idx}, mode='clip', out=sid)")
+            self.e.emit(f"_np.take({self.buf('nd')}, {idx}, mode='clip', out=sid)")
             self.e.emit("_np.multiply(ci, sid, out=ci)")
 
     def _rowsrc(self) -> str:
@@ -375,18 +387,95 @@ class _GroupEmitter:
 
     def _init_state(self) -> None:
         e = self.e
-        if self.arena:
+        if self.hot is not None:
+            # Hot/cold split: the cold tail starts from the tile indices the
+            # hot phase left in hstate — prefix and full buffers share tile
+            # numbering, so the carried state needs no translation. The
+            # slice is used directly as the chunk state; every cold mutation
+            # pattern (out=, fancy assignment, rebinding) is view-safe.
+            src = "hstate[:, c0:c0 + k]" if self.vec else "hstate[c0:c0 + k]"
+            e.emit(f"state = {src}")
+        elif self.arena:
             e.emit(f"state = _A.i5[:_n].reshape({self._full_shape})")
             e.emit("state[...] = 0")
         else:
             shape = "(B, k)" if self.vec else "(k,)"
             e.emit(f"state = _np.zeros({shape}, dtype=_np.int64)")
 
+    # -- hot prefix (Schedule(pgo=...)) --------------------------------
+    def emit_hot(self) -> None:
+        """Emit the check-free hot phase over the compact prefix buffers.
+
+        Runs before the cold chunk loop: every walk of the group advances
+        ``hot.depth`` levels with no leaf/termination checks (legality
+        guarantees only internal tiles above the cutoff), at a much wider
+        jam width than the guarded cold tail, reading the ``g_h*`` prefix
+        copies whose small footprint stays cache-resident. The resulting
+        tile indices land in ``hstate``; cold chunks seed from its slices.
+        """
+        e, g, hot = self.e, self.g, self.hot
+        nt = self.layout.num_trees
+        hw = min(hot.width, nt)
+        sparse = self.layout.kind == "sparse"
+        arity = self.layout.tile_size + 1
+        e.emit(
+            f"# hot prefix: {hot.depth} levels over {hot.tiles} tiles/lane "
+            f"(jam x{hw})"
+        )
+        if self.arena:
+            if self.vec:
+                e.emit(f"hstate = _A.hs[:B * {nt}].reshape(B, {nt})")
+            else:
+                e.emit(f"hstate = _A.hs[:{nt}]")
+        else:
+            shape = f"(B, {nt})" if self.vec else f"({nt},)"
+            e.emit(f"hstate = _np.empty({shape}, dtype=_np.int64)")
+        self.p = "h"
+        with e.block(f"for c0 in range(0, {nt}, {hw}):"):
+            e.emit(f"k = min({hw}, {nt} - c0)")
+            e.emit(f"bofs0 = {g}_hlaneT[c0:c0 + k]")
+            e.emit("bofs = bofs0[None, :]" if self.vec else "bofs = bofs0")
+            if self.arena:
+                self.bind_scratch(self._full_n, self._full_shape, full=True)
+            src = "hstate[:, c0:c0 + k]" if self.vec else "hstate[c0:c0 + k]"
+            e.emit(f"state = {src}")
+            e.emit("state[...] = 0")
+            for _ in range(hot.depth):
+                if self.arena:
+                    e.emit("_np.add(bofs, state, out=idx)")
+                    self.eval_tile("idx", self._feat_full())
+                    if sparse:
+                        e.emit(
+                            f"_np.take({self.buf('cb')}, idx, mode='clip', "
+                            "out=base)"
+                        )
+                        e.emit("_np.add(base, ci, out=state)")
+                    else:
+                        e.emit(f"_np.multiply(state, {arity}, out=state)")
+                        e.emit("_np.add(state, ci, out=state)")
+                        e.emit("_np.add(state, 1, out=state)")
+                else:
+                    e.emit("idx = bofs + state")
+                    self.eval_tile("idx", self._feat_full())
+                    # write through: hstate must carry into the cold loop
+                    if sparse:
+                        e.emit(
+                            f"state[...] = _np.take({self.buf('cb')}, idx) + ci"
+                        )
+                    else:
+                        e.emit(f"state[...] = state * {arity} + ci + 1")
+                self.prof("_C.walk_steps += idx.size")
+                e.emit()
+        self.p = ""
+
     # -- sparse layout -------------------------------------------------
     def sparse_walk(self) -> None:
         e, g = self.e, self.g
         arena = self.arena
         walk = self.group.walk
+        # Levels already walked by the hot phase; straight-line cold styles
+        # emit that many fewer steps (guarded loops terminate by state).
+        hot_done = self.hot.depth if self.hot is not None else 0
         if arena:
             self.bind_scratch(self._full_n, self._full_shape, full=True)
         self._init_state()
@@ -405,7 +494,7 @@ class _GroupEmitter:
             e.emit()
 
         if walk.style == "unrolled":
-            for _ in range(walk.depth - 1):
+            for _ in range(walk.depth - 1 - hot_done):
                 advance()
             # Final step: uniform depth guarantees the leaves array.
             if arena:
@@ -423,13 +512,14 @@ class _GroupEmitter:
                 e.emit(f"base = _np.take({g}_cb, idx)")
                 e.emit(f"vals = _np.take({g}_lv, lofs - base - 1 + ci)")
             self.prof("_C.walk_steps += idx.size")
-            self.prof(f"_C.unrolled_steps += {walk.depth}")
+            self.prof(f"_C.unrolled_steps += {walk.depth - hot_done}")
             return
 
         if walk.style == "peeled":
-            for _ in range(walk.peel):
+            for _ in range(walk.peel - hot_done):
                 advance()
-            self.prof(f"_C.peeled_steps += {walk.peel}")
+            if walk.peel - hot_done > 0:
+                self.prof(f"_C.peeled_steps += {walk.peel - hot_done}")
 
         if not self.lir.schedule.compact_walks:
             # Ablation path: masked loop. Finished lanes re-evaluate the
@@ -510,6 +600,7 @@ class _GroupEmitter:
         arena = self.arena
         walk = self.group.walk
         arity = self.layout.tile_size + 1
+        hot_done = self.hot.depth if self.hot is not None else 0
         if arena:
             self.bind_scratch(self._full_n, self._full_shape, full=True)
         self._init_state()
@@ -538,16 +629,17 @@ class _GroupEmitter:
                 e.emit(f"vals = _np.take({g}_lv, bofs + state)")
 
         if walk.style == "unrolled":
-            for _ in range(walk.depth):
+            for _ in range(walk.depth - hot_done):
                 advance()
-            self.prof(f"_C.unrolled_steps += {walk.depth}")
+            self.prof(f"_C.unrolled_steps += {walk.depth - hot_done}")
             final_vals()
             return
 
         if walk.style == "peeled":
-            for _ in range(walk.peel):
+            for _ in range(walk.peel - hot_done):
                 advance()
-            self.prof(f"_C.peeled_steps += {walk.peel}")
+            if walk.peel - hot_done > 0:
+                self.prof(f"_C.peeled_steps += {walk.peel - hot_done}")
 
         if not self.lir.schedule.compact_walks:
             # Ablation path: masked loop (see the sparse variant).
@@ -632,6 +724,8 @@ def _emit_group(e: _Emitter, lir: LIRModule, group: LIRGroup, vec: bool, target:
     ge = _GroupEmitter(e, lir, group, vec)
     e.emit(f"# group {group.group_id}: {num_trees} trees, {layout.kind} layout, "
            f"{group.walk.describe()}")
+    if group.hot is not None:
+        ge.emit_hot()
     with e.block(f"for c0 in range(0, {num_trees}, {width}):"):
         e.emit(f"k = min({width}, {num_trees} - c0)")
         # Flat base offsets of this chunk's lanes: tiles and leaf values.
@@ -762,9 +856,19 @@ def build_namespace(lir: LIRModule, profile_recorder: ProfileRecorder | None = N
         spec = arena_spec(lir)
         ns["_new_arena"] = lambda spec=spec: ScratchArena(spec)
     if lir.schedule.profile:
-        # The kernel's `_C = _P.local()` resolves against this recorder;
-        # the predictor keeps a reference for aggregation.
-        ns["_P"] = profile_recorder if profile_recorder is not None else ProfileRecorder()
+        # The kernel's `_C = _P.local()` resolves against this recorder. An
+        # externally owned recorder (the predictor's) is bound as a weak
+        # proxy: exec() installs predict_block into this namespace, closing
+        # a namespace<->function cycle that only gc breaks, and a strong
+        # `_P` would keep an evicted predictor's counters visible in
+        # aggregate_all() until that collection ran. With the proxy, the
+        # recorder dies by refcount with its predictor. Only when no owner
+        # exists (direct build_namespace calls, AOT export) does the
+        # namespace own the recorder itself.
+        if profile_recorder is not None:
+            ns["_P"] = weakref.proxy(profile_recorder)
+        else:
+            ns["_P"] = ProfileRecorder()
     # Quantized leaf codes and one-hots are float-carried exact integers
     # so the chunk matmul dispatches to BLAS (see quant_mm_dtype).
     mmdt = np.dtype(quant_mm_dtype(lir))
@@ -826,6 +930,32 @@ def build_namespace(lir: LIRModule, profile_recorder: ProfileRecorder | None = N
                 layout.shape_ids.reshape(-1) != dummy_sid
             ).astype(np.int64)
         ns[f"{g}_laneT"] = np.arange(k, dtype=np.int64) * tiles
+        if group.hot is not None:
+            # Hot prefix copies (Schedule(pgo=...)): both layouts number
+            # tiles in level order, so the first `hot.tiles` positions of
+            # each lane are exactly the tiles above the cutoff, at
+            # unchanged indices. Slicing the *built* buffers inherits the
+            # precision/quantization transforms applied above; the compact
+            # contiguous copies are what keeps the hot working set small.
+            H = group.hot.tiles
+            ns[f"{g}_hth"] = np.ascontiguousarray(
+                ns[f"{g}_th"].reshape(k, tiles, width)[:, :H]
+            ).reshape(k * H, width)
+            ns[f"{g}_hfi"] = np.ascontiguousarray(
+                ns[f"{g}_fi"].reshape(k, tiles, width)[:, :H]
+            ).reshape(k * H, width)
+            ns[f"{g}_hsid"] = np.ascontiguousarray(
+                ns[f"{g}_sid"].reshape(k, tiles)[:, :H]
+            ).reshape(-1)
+            if single_real and has_dummy:
+                ns[f"{g}_hnd"] = np.ascontiguousarray(
+                    ns[f"{g}_nd"].reshape(k, tiles)[:, :H]
+                ).reshape(-1)
+            if layout.kind == "sparse":
+                ns[f"{g}_hcb"] = np.ascontiguousarray(
+                    layout.child_base[:, :H]
+                ).reshape(-1).astype(np.int64)
+            ns[f"{g}_hlaneT"] = np.arange(k, dtype=np.int64) * H
 
         def _leaf_buf(values: np.ndarray) -> np.ndarray:
             if quant is not None:

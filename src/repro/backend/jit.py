@@ -163,8 +163,17 @@ def predictor_cache_key(forest: "Forest", schedule: "Schedule") -> str:
     must not: the same (forest, schedule) compiled under two backends are
     distinct objects with different capabilities. Namespacing the
     fingerprint by ``schedule.backend`` keeps them from colliding.
+
+    The repr-suppressed ``pgo`` knob gets the same treatment: a
+    profile-guided split never changes outputs (so the fingerprint may
+    ignore it) but does change the compiled kernel, so executors built
+    with different cutoffs must occupy different cache slots. The default
+    (``pgo=None``) key shape is unchanged — pinned key hashes stay valid.
     """
-    return f"{schedule.backend}:{model_fingerprint(forest, schedule)}"
+    key = f"{schedule.backend}:{model_fingerprint(forest, schedule)}"
+    if schedule.pgo is not None:
+        key += f":pgo={schedule.pgo}"
+    return key
 
 
 def artifact_cache_key(backend_name: str, fingerprint: str) -> str:

@@ -188,6 +188,20 @@ class Schedule:
     #: distinguished one level up by the backend-qualified predictor cache
     #: key (:func:`~repro.backend.jit.predictor_cache_key`).
     backend: str = field(default="numpy_jit", repr=False)
+    #: profile-guided hot/cold tree splitting (:mod:`repro.pgo`): ``None``
+    #: disables it; ``"auto"`` derives a per-group hot-depth cutoff from
+    #: static leaf statistics; an int ``>= 1`` pins the cutoff explicitly
+    #: (in tile levels — serving passes the cutoff measured from live
+    #: profile counters here). The hot prefix of every tree is walked
+    #: check-free over compact contiguous prefix buffers before the cold
+    #: tail runs the ordinary walk; the split is output-invariant by
+    #: construction (same comparisons, same routing, same accumulation
+    #: order). Excluded from ``repr`` like ``backend`` so default model
+    #: fingerprints stay byte-identical; predictors compiled with
+    #: different pgo values are distinguished by the qualified cache key
+    #: (:func:`~repro.backend.jit.predictor_cache_key`). Only the
+    #: ``"tiled"`` traversal honours it; quickscorer ignores it.
+    pgo: int | str | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not (1 <= self.tile_size <= 16):
@@ -217,6 +231,17 @@ class Schedule:
         if not isinstance(self.backend, str) or not self.backend:
             raise ScheduleError(
                 f"backend must be a non-empty string, got {self.backend!r}"
+            )
+        if self.pgo is not None and not (
+            self.pgo == "auto"
+            or (
+                isinstance(self.pgo, int)
+                and not isinstance(self.pgo, bool)
+                and self.pgo >= 1
+            )
+        ):
+            raise ScheduleError(
+                f'pgo must be None, "auto", or an int >= 1, got {self.pgo!r}'
             )
         # Resolve the backend name against the process-wide registry now,
         # not at compile time: a schedule naming an unregistered backend is

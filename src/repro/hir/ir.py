@@ -112,6 +112,16 @@ def build_hir(
             enabled=schedule.reorder,
             merge=not schedule.pad_and_unroll,
         )
+        if schedule.pgo is not None and schedule.traversal == "tiled":
+            # Profile-guided hot/cold split: annotate each group with its
+            # legal hot-depth cutoff (quickscorer ignores the knob — it
+            # has no tile walk to split).
+            from repro.pgo import resolve_hot_depths
+
+            decision = resolve_hot_depths(schedule, groups, tiled_trees)
+            for group in groups:
+                group.hot_depth = decision.per_group.get(group.group_id, 0)
+            reorder_span.stats["pgo"] = decision.describe()
 
     with trace.span("shape-registry"):
         registry = ShapeRegistry(schedule.tile_size)

@@ -36,6 +36,11 @@ class TreeGroup:
     min_leaf_depth:
         Smallest leaf depth across members; the peeling pass may skip leaf
         checks for the first ``min_leaf_depth - 1`` steps.
+    hot_depth:
+        Profile-guided hot/cold cutoff (``repro.pgo``): the first
+        ``hot_depth`` tile levels are compiled as a check-free hot prefix
+        over compact contiguous buffers. 0 (the default) disables the
+        split; legal values are ``1 <= hot_depth < min_leaf_depth``.
     """
 
     group_id: int
@@ -43,6 +48,7 @@ class TreeGroup:
     depth: int = 0
     uniform: bool = False
     min_leaf_depth: int = 0
+    hot_depth: int = 0
 
     @property
     def num_trees(self) -> int:

@@ -28,6 +28,25 @@ WALK_STEP_OPS = (
 )
 
 
+@dataclass(frozen=True)
+class HotSplit:
+    """Hot-prefix buffer plan of one group (``Schedule(pgo=...)``).
+
+    Both layouts number tiles in level order, so the tiles at depth
+    ``< depth`` occupy the first ``tiles`` positions of each lane's tile
+    buffers *with unchanged indices* — the backend slices a compact
+    contiguous copy of that prefix for the hot phase and the walk state
+    carries over to the full buffers with no translation.
+    """
+
+    #: tile levels walked check-free over the compact prefix buffers
+    depth: int
+    #: jam width of the hot chunk loop
+    width: int
+    #: per-lane prefix length (group maximum) the hot buffers are cut at
+    tiles: int
+
+
 @dataclass
 class LIRGroup:
     """Buffers plus walk plan for one tree group."""
@@ -38,6 +57,8 @@ class LIRGroup:
     class_ids: np.ndarray
     #: True when every member tree is a bare leaf (depth-0 group)
     trivial: bool = False
+    #: hot/cold split plan; None when the group has no hot prefix
+    hot: HotSplit | None = None
 
     @property
     def num_trees(self) -> int:

@@ -14,13 +14,47 @@ import numpy as np
 from repro.config import PRECISION_TABLE
 from repro.errors import LoweringError
 from repro.hir.ir import HIRModule
-from repro.lir.ir import LIRGroup, LIRModule
+from repro.lir.ir import HotSplit, LIRGroup, LIRModule
 from repro.lir.layout.array_layout import build_array_layout
 from repro.lir.layout.sparse_layout import build_sparse_layout
 from repro.hir.tiling.shapes import storage_width
 from repro.mir.ir import MIRModule
 from repro.observe.stats import lir_stats
 from repro.observe.trace import CompilationTrace
+
+
+def _hot_split_plan(walk, layout, tiled_trees, tree_indices) -> HotSplit | None:
+    """Prefix length of the hot buffers for one group, per its layout.
+
+    Sparse layouts flatten tiles breadth-first, so the tiles at depth
+    ``< h`` are exactly the first ``N_lane`` records of each lane, where
+    ``N_lane`` counts the lane's tiles above the cutoff (hops and leaves
+    only appear at ``depth >= min_leaf_depth > h``, so the prefix is pure
+    internal tiles). Array layouts index slots positionally, so the prefix
+    is the complete-tree slot count above the cutoff (clipped to the
+    buffers' actual slot count — partially filled tiles can leave the
+    group short of a complete level).
+    """
+    h = walk.hot_depth
+    if not h:
+        return None
+    if layout.kind == "array":
+        arity = layout.tile_size + 1
+        slots_above = (arity**h - 1) // (arity - 1)
+        tiles = min(slots_above, layout.num_slots)
+    else:
+        tiles = 0
+        for idx in tree_indices:
+            tiled = tiled_trees[idx]
+            lane = sum(
+                1
+                for tile in tiled.tiles
+                if tile.depth < h and not tile.is_leaf
+            )
+            tiles = max(tiles, lane)
+    if tiles <= 0:
+        return None
+    return HotSplit(depth=h, width=walk.hot_width, tiles=tiles)
 
 
 def lower_mir_to_lir(
@@ -53,6 +87,13 @@ def lower_mir_to_lir(
                     hir.tiled_trees, group.tree_indices, class_ids, hir.shape_registry
                 )
             trivial = group.depth == 0
+            hot = (
+                None
+                if trivial
+                else _hot_split_plan(
+                    walk, layout, hir.tiled_trees, group.tree_indices
+                )
+            )
             groups.append(
                 LIRGroup(
                     group_id=group.group_id,
@@ -60,6 +101,7 @@ def lower_mir_to_lir(
                     walk=walk,
                     class_ids=np.asarray(class_ids, dtype=np.int32),
                     trivial=trivial,
+                    hot=hot,
                 )
             )
     with trace.span("lut"):

@@ -185,6 +185,11 @@ class ArenaSpec:
     pack_widths:
         Which movemask scratch integers the module's tile widths need
         (subset of ``(16, 32, 64)``).
+    hot_trees:
+        Widest hot-phase tree count over the module's groups when a
+        profile-guided hot/cold split is compiled in (``Schedule(pgo=..)``)
+        — sizes the per-row hot walk-state buffer ``hs``. 0 (the default)
+        for ordinary modules, keeping pre-PGO artifact manifests loadable.
     """
 
     max_lane: int
@@ -199,6 +204,7 @@ class ArenaSpec:
     acc_dtype: str = "float64"
     mm_dtype: str = "float64"
     quantized: bool = False
+    hot_trees: int = 0
 
     def nbytes_for(self, rows: int) -> int:
         """Predicted arena footprint for a ``rows``-row invocation."""
@@ -213,6 +219,7 @@ class ArenaSpec:
             total += lane * 8          # flat feature-gather indices
             total += n * 8             # cached row offsets
         total += scalar * 8 * 6        # idx, ci, sid, state, base, tmp
+        total += n * self.hot_trees * 8  # hot walk state (hs)
         total += sum(scalar * (w // 8) for w in self.pack_widths)
         total += n * self.num_classes * msize  # matmul accumulator
         if self.quantized:
@@ -266,6 +273,11 @@ class ScratchArena:
             self.rof0 = np.arange(rows, dtype=np.int64) * spec.num_features
         for name in ("i2", "i3", "i4", "i5", "i6", "i7"):
             setattr(self, name, np.empty(scalar, dtype=np.int64))
+        if spec.hot_trees:
+            # Hot-phase walk state: one int64 per (row, hot tree); the hot
+            # chunk loop binds slices as its state and the cold tail seeds
+            # from them (see repro.pgo).
+            self.hs = np.empty(rows * spec.hot_trees, dtype=np.int64)
         for width in spec.pack_widths:
             setattr(self, f"p{width}", np.empty(scalar, dtype=np.dtype(f"uint{width}")))
         mdt = np.dtype(spec.mm_dtype)
@@ -307,7 +319,7 @@ def arena_spec(lir) -> ArenaSpec:
     padded lane width of every non-trivial group — the NumPy analog of the
     paper sizing its SIMD working set from the schedule.
     """
-    max_lane = max_scalar = 0
+    max_lane = max_scalar = hot_trees = 0
     pack_widths: set[int] = set()
     for group in lir.groups:
         if group.trivial:
@@ -316,6 +328,14 @@ def arena_spec(lir) -> ArenaSpec:
         k = min(max(1, group.walk.width), group.layout.num_trees)
         max_lane = max(max_lane, k * width)
         max_scalar = max(max_scalar, k)
+        if group.hot is not None:
+            # The hot chunk loop runs wider than the cold interleave, and
+            # its state buffer spans every tree of the group (cold chunks
+            # seed from slices of it).
+            k_hot = min(max(1, group.hot.width), group.layout.num_trees)
+            max_lane = max(max_lane, k_hot * width)
+            max_scalar = max(max_scalar, k_hot)
+            hot_trees = max(hot_trees, group.layout.num_trees)
         if width in (2, 4, 8):
             pack_widths.add(width * 8)
     schedule = lir.schedule
@@ -333,6 +353,7 @@ def arena_spec(lir) -> ArenaSpec:
         mm_dtype=quant_mm_dtype(lir),
         quantized=info.quantized,
         pack_widths=tuple(sorted(pack_widths)),
+        hot_trees=hot_trees,
     )
 
 

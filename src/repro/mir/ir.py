@@ -48,6 +48,13 @@ class WalkOp:
         Walk-step count for ``unrolled`` (and an upper bound otherwise).
     peel:
         Number of check-free prologue steps for ``peeled``.
+    hot_depth:
+        Profile-guided hot/cold cutoff: the first ``hot_depth`` steps of
+        every walk run as a separate check-free phase over compact prefix
+        buffers before the style above takes over (0 = no split).
+    hot_width:
+        Jam width of the hot phase — check-free code admits far wider
+        chunks than the guarded cold tail (0 when ``hot_depth`` is 0).
     """
 
     group_id: int
@@ -55,6 +62,8 @@ class WalkOp:
     style: str = "loop"
     depth: int = 0
     peel: int = 0
+    hot_depth: int = 0
+    hot_width: int = 0
 
     def describe(self) -> str:
         detail = {
@@ -62,6 +71,11 @@ class WalkOp:
             "peeled": f"peel {self.peel} then while !isLeaf (depth<={self.depth})",
             "unrolled": f"{self.depth} traverseTile steps, no checks",
         }[self.style]
+        if self.hot_depth > 0:
+            detail = (
+                f"hot prefix {self.hot_depth} steps x{self.hot_width}, then "
+                + detail
+            )
         return f"WalkDecisionTree[group={self.group_id} x{self.width}]: {detail}"
 
 

@@ -59,6 +59,31 @@ def peel_and_unroll_pass(mir: MIRModule, hir: HIRModule) -> MIRModule:
     return mir
 
 
+def hot_split_pass(mir: MIRModule, hir: HIRModule) -> MIRModule:
+    """Profile-guided hot/cold walk splitting (``Schedule(pgo=...)``).
+
+    Groups annotated with a hot depth by the HIR stage get their walks
+    split: the first ``hot_depth`` steps run as a check-free phase over
+    compact prefix buffers at a much wider jam width, then the ordinary
+    walk style (loop / peeled / unrolled) finishes from the carried state.
+    The split is orthogonal to the style — ``peel``/``depth`` keep their
+    meaning, codegen simply starts the cold phase ``hot_depth`` levels in.
+    """
+    from repro.pgo import hot_chunk_width, legal_hot_depth
+
+    groups = {g.group_id: g for g in hir.groups}
+    for loop in mir.tree_loops:
+        group = groups[loop.group_id]
+        walk = loop.walk
+        # Re-clip: HIR annotations are already legal, but clipping here
+        # keeps the pass safe for hand-built modules in tests.
+        hot = legal_hot_depth(group.depth, group.min_leaf_depth, group.hot_depth)
+        walk.hot_depth = hot
+        walk.hot_width = hot_chunk_width(walk.width, loop.num_trees) if hot else 0
+    mir.pass_log.append("hot_split")
+    return mir
+
+
 def parallelize_pass(mir: MIRModule, hir: HIRModule) -> MIRModule:
     """Naive row-loop parallelization (Section IV-C).
 
@@ -92,6 +117,13 @@ def verify_mir(mir: MIRModule, hir: HIRModule) -> None:
             raise LoweringError("unrolled walk on a non-uniform-depth group")
         if walk.style == "peeled" and walk.peel >= group.min_leaf_depth:
             raise LoweringError("peel count reaches the shallowest leaf")
+        if walk.hot_depth:
+            if walk.hot_depth >= group.min_leaf_depth:
+                raise LoweringError("hot depth reaches the shallowest leaf")
+            if not (1 <= walk.hot_width <= loop.num_trees):
+                raise LoweringError("hot jam width outside [1, num_trees]")
+        elif walk.hot_width:
+            raise LoweringError("hot jam width set without a hot depth")
     if seen != set(groups):
         raise LoweringError("some groups have no tree loop")
 
@@ -114,6 +146,14 @@ def run_mir_pipeline(
         span.stats["styles"] = {
             loop.group_id: loop.walk.style for loop in mir.tree_loops
         }
+    if any(g.hot_depth for g in hir.groups):
+        with trace.span("hot-split") as span:
+            hot_split_pass(mir, hir)
+            span.stats["hot"] = {
+                loop.group_id: (loop.walk.hot_depth, loop.walk.hot_width)
+                for loop in mir.tree_loops
+                if loop.walk.hot_depth
+            }
     with trace.span("parallelize") as span:
         parallelize_pass(mir, hir)
         span.stats["threads"] = mir.row_loop.num_threads

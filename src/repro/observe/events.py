@@ -10,6 +10,9 @@ discrete events that explain a deployment's behaviour after the fact:
 ``hot_swap``      a session atomically switched to a tuned predictor
 ``tune``          an autotune run finished (winner, budget outcome)
 ``tune_failed``   a background tune died without poisoning serving
+``pgo_swap``      a profile-guided recompile swapped in a hot/cold split
+                  kernel (measured cutoff, timings, prefix-buffer shrink)
+``pgo_failed``    a PGO cycle died without touching the serving path
 ``error``         a predict request raised
 ``slow_request``  a request exceeded the server's latency threshold
                   (``ServerConfig(slow_request_s=...)``)

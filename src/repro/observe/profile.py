@@ -80,9 +80,12 @@ class ProfileRecorder:
 
     The generated kernel calls :meth:`local` once per invocation; the
     predictor (and the observability registry) read :meth:`aggregate`.
-    Thread structs are kept strongly in ``_threads`` — the set is bounded
-    by the kernel pool size, and keeping them preserves counts from pool
-    threads that have since exited.
+    Live thread structs are tracked as ``(weakref-to-thread, counters)``
+    pairs; once a thread exits, its counts are folded into a single
+    ``_retired`` total under the lock and the struct is dropped — a
+    long-lived server under kernel-pool churn therefore holds at most
+    one struct per *live* thread plus one retired total, instead of one
+    struct per thread that ever existed.
     """
 
     def __init__(self, label: str = "") -> None:
@@ -91,9 +94,34 @@ class ProfileRecorder:
         self.label = f"{label or 'profile'}#{next(_recorder_ids)}"
         self._tls = threading.local()
         self._lock = threading.Lock()
-        self._threads: list[ProfileCounters] = []
+        #: live threads only: (weakref to owning thread, its struct)
+        self._threads: list[tuple[weakref.ref, ProfileCounters]] = []
+        #: folded counts of threads that have exited
+        self._retired = ProfileCounters()
+        self._retired_threads = 0
         with _RECORDERS_LOCK:
             _RECORDERS.add(self)
+
+    def _prune_locked(self) -> None:
+        """Fold exited threads into the retired total (lock must be held).
+
+        A dead thread can no longer increment its struct, so folding is
+        race-free; live entries are never touched.
+        """
+        live: list[tuple[weakref.ref, ProfileCounters]] = []
+        for ref, counters in self._threads:
+            thread = ref()
+            if thread is not None and thread.is_alive():
+                live.append((ref, counters))
+                continue
+            for name in COUNTER_FIELDS:
+                setattr(
+                    self._retired,
+                    name,
+                    getattr(self._retired, name) + int(getattr(counters, name)),
+                )
+            self._retired_threads += 1
+        self._threads = live
 
     def local(self) -> ProfileCounters:
         """The calling thread's counter struct (created on first use)."""
@@ -102,30 +130,41 @@ class ProfileRecorder:
             counters = ProfileCounters()
             self._tls.counters = counters
             with self._lock:
-                self._threads.append(counters)
+                self._prune_locked()
+                self._threads.append(
+                    (weakref.ref(threading.current_thread()), counters)
+                )
         return counters
 
     def aggregate(self) -> dict[str, int]:
-        """Sum of every thread's counters (taken under the lock)."""
-        total = {name: 0 for name in COUNTER_FIELDS}
+        """Sum of retired plus every live thread's counters."""
         with self._lock:
-            threads = list(self._threads)
+            self._prune_locked()
+            total = self._retired.as_dict()
+            threads = [counters for _, counters in self._threads]
         for counters in threads:
             for name in COUNTER_FIELDS:
                 total[name] += int(getattr(counters, name))
         return total
 
     def reset(self) -> None:
-        """Zero every thread's counters (for before/after measurements)."""
+        """Zero every thread's counters (for before/after measurements).
+
+        The snapshot and the clears happen under one lock hold, so a
+        kernel thread registering its fresh struct concurrently either
+        lands before the clear (and is zeroed) or after (and starts from
+        zero) — no pre-reset counts survive into the after-measurement.
+        """
         with self._lock:
-            threads = list(self._threads)
-        for counters in threads:
-            counters.clear()
+            self._retired.clear()
+            for _, counters in self._threads:
+                counters.clear()
 
     @property
     def num_threads(self) -> int:
+        """Threads that ever contributed counters (live + retired)."""
         with self._lock:
-            return len(self._threads)
+            return len(self._threads) + self._retired_threads
 
     def __repr__(self) -> str:
         agg = self.aggregate()

@@ -88,6 +88,13 @@ class ServerConfig:
         Path of a JSON-lines file mirroring every flight-recorder event
         (``python -m repro.observe tail --follow`` reads it live);
         ``None`` keeps events in memory only.
+    pgo_interval_s:
+        How often a ``register(..., pgo=True)`` session re-reads its live
+        profile and considers recompiling with a measured hot-depth
+        cutoff (see :mod:`repro.pgo`).
+    pgo_min_rows:
+        Profiled rows a session must have served before its first PGO
+        recompile — a cold profile's mean walk depth is noise.
     """
 
     cache_capacity: int = DEFAULT_PREDICTOR_CACHE_CAP
@@ -104,6 +111,8 @@ class ServerConfig:
     trace_sample: float = 0.0
     slow_request_s: float | None = 0.25
     flight_log: str | None = None
+    pgo_interval_s: float = 30.0
+    pgo_min_rows: int = 2048
 
 
 class ModelServer:
@@ -142,6 +151,7 @@ class ModelServer:
             path = default_cache_path()
         self.schedule_cache = ScheduleCache(path)
         self._tunes: list[Future] = []
+        self._pgo_timers: dict[str, threading.Timer] = {}
         # Runtime gauges: the shared kernel pool plus the footprints of
         # every resident predictor (model buffers + per-thread scratch
         # arenas), read at snapshot time.
@@ -151,6 +161,7 @@ class ModelServer:
         self.metrics.register_gauge(
             "bytes_by_precision", self._bytes_by_precision
         )
+        self.metrics.register_gauge("pgo", self._pgo_gauge)
         # Report into the process-wide observability registry under a
         # unique name so several servers coexist in one snapshot;
         # close() withdraws the registration.
@@ -209,6 +220,29 @@ class ModelServer:
                 slot["scratch_bytes"] += int(p.scratch_nbytes())
         return out
 
+    def _pgo_gauge(self) -> dict:
+        """Per-model hot/cold split state for PGO-scheduled sessions.
+
+        For every live session whose schedule carries ``pgo``, reports the
+        realized cutoff and the prefix-buffer shrink (see
+        :func:`repro.pgo.prefix_bytes`) — the gauge CI asserts on after a
+        forced recompile.
+        """
+        from repro.pgo import prefix_bytes
+
+        out: dict[str, dict] = {}
+        with self._lock:
+            sessions = dict(self._sessions)
+        for name, session in sessions.items():
+            if session.schedule.pgo is None:
+                continue
+            lir = getattr(session.predictor, "lir", None)
+            info = {"pgo": session.schedule.pgo}
+            if lir is not None:
+                info.update(prefix_bytes(lir))
+            out[name] = info
+        return out
+
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
@@ -224,6 +258,7 @@ class ModelServer:
         tune: bool = False,
         tune_rows: np.ndarray | None = None,
         tune_space: TuningSpace | None = None,
+        pgo: bool = False,
     ) -> InferenceSession:
         """Compile (or cache-hit) ``forest`` and serve it as ``name``.
 
@@ -248,6 +283,16 @@ class ModelServer:
         part of the tuning key); synthetic normal rows are used when
         omitted. Winners persist to the server's schedule cache, so a
         restart warm-starts without searching.
+
+        With ``pgo=True`` the session compiles with live profiling
+        enabled (``Schedule(profile=True)``) and a periodic job re-reads
+        the accumulated walk-depth profile every ``pgo_interval_s``
+        seconds: once ``pgo_min_rows`` rows have been profiled it derives
+        a hot-depth cutoff (:func:`repro.pgo.measured_hot_depth`),
+        recompiles with ``Schedule(pgo=cutoff)``, and atomically
+        hot-swaps when the split measures faster — recording a
+        ``pgo_swap`` flight event. :meth:`force_pgo_recompile` runs one
+        cycle synchronously.
         """
         if self._closed:
             raise ServingError("server is closed")
@@ -260,6 +305,11 @@ class ModelServer:
                 raise ServingError(
                     "tune=True needs the forest structure; artifacts carry "
                     "only the compiled kernel — register the forest to tune"
+                )
+            if pgo:
+                raise ServingError(
+                    "pgo=True recompiles from the forest structure; "
+                    "artifacts carry only the compiled kernel"
                 )
             predictor = self._load_artifact(artifact)
             session = InferenceSession(
@@ -278,11 +328,18 @@ class ModelServer:
             with self._lock:
                 old = self._sessions.get(name)
                 self._sessions[name] = session
+                stale_timer = self._pgo_timers.pop(name, None)
+            if stale_timer is not None:
+                stale_timer.cancel()
             if old is not None:
                 old.close()
             return session
         if forest is None:
             raise ServingError("register() needs a forest or an artifact")
+        if pgo:
+            # The profile recorder is what the periodic job reads; PGO
+            # without it would never see a measured walk depth.
+            schedule = (schedule or Schedule()).with_(profile=True)
         session = InferenceSession(
             forest,
             schedule,
@@ -299,8 +356,13 @@ class ModelServer:
         with self._lock:
             old = self._sessions.get(name)
             self._sessions[name] = session
+            stale_timer = self._pgo_timers.pop(name, None)
+        if stale_timer is not None:
+            stale_timer.cancel()
         if old is not None:
             old.close()
+        if pgo:
+            self._arm_pgo_timer(name, session)
         if tune:
             if tune_rows is None:
                 rng = np.random.default_rng(0)
@@ -421,6 +483,137 @@ class ModelServer:
             )
         return info
 
+    # ------------------------------------------------------------------
+    # Profile-guided recompilation
+    # ------------------------------------------------------------------
+    def _arm_pgo_timer(self, name: str, session: InferenceSession) -> None:
+        """(Re)schedule the next profile check for ``name``.
+
+        One timer per registration name; re-registering or unregistering
+        cancels it. The timer thread runs the whole cycle — compile and
+        measurement included — which is fine: it is a daemon thread and
+        the cycle is bounded by one compile plus two short measurements.
+        """
+        timer = threading.Timer(
+            self.config.pgo_interval_s, self._pgo_tick, args=(name, session)
+        )
+        timer.daemon = True
+        with self._lock:
+            if self._closed or self._sessions.get(name) is not session:
+                return
+            previous = self._pgo_timers.get(name)
+            self._pgo_timers[name] = timer
+        if previous is not None:
+            previous.cancel()
+        timer.start()
+
+    def _pgo_tick(self, name: str, session: InferenceSession) -> None:
+        """Timer callback: one PGO cycle, then re-arm while still current."""
+        self._pgo_job(name, session)
+        self._arm_pgo_timer(name, session)
+
+    def _pgo_job(
+        self, name: str, session: InferenceSession, *, force: bool = False
+    ) -> dict:
+        """One profile-guided recompile cycle; must never raise.
+
+        Reads the session's live profile aggregate, derives the measured
+        hot-depth cutoff, recompiles with ``Schedule(pgo=cutoff)`` (the
+        profile stays on, so later cycles keep adapting), and hot-swaps
+        when the split beats the incumbent by :data:`SWAP_THRESHOLD`.
+        ``force`` skips the warm-up row gate and the threshold — the
+        operator (or CI) asked for the swap, not a maybe.
+        """
+        from repro.pgo import measured_hot_depth, prefix_bytes, walking_trees
+
+        cfg = self.config
+        info = {"name": name, "swapped": False, "reason": None}
+        try:
+            predictor = session.predictor
+            lir = getattr(predictor, "lir", None)
+            if getattr(predictor, "profile_recorder", None) is None or lir is None:
+                info["reason"] = "no_profile"
+                return info
+            counters = predictor.profile_counters()
+            if not force and counters.get("rows", 0) < cfg.pgo_min_rows:
+                info["reason"] = "cold_profile"
+                return info
+            cutoff, mean = measured_hot_depth(counters, walking_trees(lir))
+            if cutoff is None:
+                info["reason"] = "empty_profile"
+                return info
+            info["cutoff"] = cutoff
+            info["mean_steps"] = round(mean, 3)
+            if session.schedule.pgo == cutoff:
+                info["reason"] = "stable"
+                return info
+            tuned_schedule = session.schedule.with_(pgo=cutoff)
+            from repro.api import compile_model
+
+            tuned = compile_model(
+                session.forest,
+                tuned_schedule,
+                validate_inputs=cfg.validate_inputs,
+            )
+            rng = np.random.default_rng(0)
+            rows = rng.normal(size=(256, session.forest.num_features))
+            baseline_us = measure(
+                lambda: session.predictor.raw_predict(rows),
+                rows=rows.shape[0],
+                repeats=cfg.tune_repeats,
+                min_time_s=cfg.tune_min_time_s,
+            ).per_row_us
+            tuned_us = measure(
+                lambda: tuned.raw_predict(rows),
+                rows=rows.shape[0],
+                repeats=cfg.tune_repeats,
+                min_time_s=cfg.tune_min_time_s,
+            ).per_row_us
+            info["baseline_per_row_us"] = round(baseline_us, 4)
+            info["tuned_per_row_us"] = round(tuned_us, 4)
+            with self._lock:
+                current = self._sessions.get(name) is session and not self._closed
+            faster = tuned_us < baseline_us * SWAP_THRESHOLD
+            if not current:
+                info["reason"] = "superseded"
+                return info
+            if not (faster or force):
+                info["reason"] = "slower"
+                return info
+            key = predictor_cache_key(session.forest, tuned_schedule)
+            self.cache.put(key, tuned)
+            session.swap_predictor(tuned, tuned_schedule)
+            info["swapped"] = True
+            info["prefix"] = prefix_bytes(tuned.lir)
+            flight.record(
+                "pgo_swap",
+                model=name,
+                cutoff=cutoff,
+                mean_steps=info["mean_steps"],
+                baseline_per_row_us=info["baseline_per_row_us"],
+                tuned_per_row_us=info["tuned_per_row_us"],
+                forced=force,
+                **info["prefix"],
+            )
+            return info
+        except Exception as exc:  # noqa: BLE001 - a PGO failure must never
+            # take the timer thread (or a force_pgo_recompile caller) down;
+            # the session keeps serving on its current predictor.
+            info["reason"] = "error"
+            info["error"] = str(exc)
+            flight.record("pgo_failed", model=name, error=str(exc))
+            return info
+
+    def force_pgo_recompile(self, name: str) -> dict:
+        """Run one PGO cycle for ``name`` synchronously, swapping even
+        when the measured win is inside the noise threshold.
+
+        Returns the cycle's info dict (``swapped``/``cutoff``/timings or a
+        ``reason`` explaining why nothing changed). Tests and CI use this
+        instead of waiting out ``pgo_interval_s``.
+        """
+        return self._pgo_job(name, self.session(name), force=True)
+
     def wait_for_tunes(self, timeout: float | None = None) -> bool:
         """Block until every background tune launched so far settles.
 
@@ -434,6 +627,9 @@ class ModelServer:
     def unregister(self, name: str) -> None:
         with self._lock:
             session = self._sessions.pop(name, None)
+            timer = self._pgo_timers.pop(name, None)
+        if timer is not None:
+            timer.cancel()
         if session is None:
             raise ServingError(f"no model registered as {name!r}")
         session.close()
@@ -487,6 +683,9 @@ class ModelServer:
             sessions, self._sessions = list(self._sessions.values()), {}
             self._closed = True
             tunes, self._tunes = list(self._tunes), []
+            pgo_timers, self._pgo_timers = list(self._pgo_timers.values()), {}
+        for timer in pgo_timers:
+            timer.cancel()
         for future in tunes:
             future.cancel()
         # Running tunes are bounded by the tuning budget; wait them out so

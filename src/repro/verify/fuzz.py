@@ -60,6 +60,8 @@ _SCHEDULE_SIMPLIFICATIONS = (
     ("reorder", False),
     ("scratch", "alloc"),
     ("compact_walks", True),
+    ("profile", False),
+    ("pgo", None),
     ("tiling", "basic"),
     ("layout", "array"),
     ("tile_size", 1),
@@ -146,6 +148,14 @@ def sample_schedule(rng: np.random.Generator) -> Schedule:
             rng.choice(["float64", "float64", "float32", "int16", "int8"])
         ),
         scratch=str(rng.choice(["arena", "alloc"])),
+        # Profiling instrumentation must be output-invariant too.
+        profile=bool(rng.integers(4) == 0),
+        # Hot/cold splitting must be output-invariant, so the fuzzer
+        # samples it like any other knob; None dominates to keep the
+        # baseline grid represented.
+        pgo=[None, None, None, None, None, None, "auto", 1, 2][
+            int(rng.integers(9))
+        ],
         verify=True,
     )
 

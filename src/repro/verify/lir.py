@@ -242,6 +242,18 @@ def _verify_arena(lir: LIRModule) -> None:
                 f"arena spec pack widths {spec.pack_widths} missing the "
                 f"{width * 8}-bit movemask scratch of group {group.group_id}"
             )
+        if group.hot is not None:
+            k_hot = min(max(1, group.hot.width), group.layout.num_trees)
+            if spec.max_lane < k_hot * width or spec.max_scalar < k_hot:
+                _fail(
+                    f"arena spec does not cover group {group.group_id}'s hot "
+                    f"chunk (width {k_hot}, lane {k_hot * width})"
+                )
+            if spec.hot_trees < group.layout.num_trees:
+                _fail(
+                    f"arena spec hot_trees {spec.hot_trees} < group "
+                    f"{group.group_id}'s {group.layout.num_trees} trees"
+                )
     if spec.num_classes != lir.num_classes:
         _fail(
             f"arena spec sized for {spec.num_classes} classes, module has "
@@ -429,6 +441,35 @@ def verify_lir_module(lir: LIRModule) -> dict:
                 _fail(f"group {gid}: marked trivial but some lane is not a bare leaf")
             if layout.kind == "array" and (layout.shape_ids[:, 0] != LEAF_SLOT).any():
                 _fail(f"group {gid}: marked trivial but some root slot is not a leaf")
+        if group.hot is not None:
+            # Hot/cold split plan (Schedule(pgo=...)): the plan must agree
+            # with the walk descriptor, cut a non-empty prefix inside the
+            # tile buffers, and never appear on trivial groups or without
+            # the schedule knob.
+            if lir.schedule.pgo is None:
+                _fail(f"group {gid}: hot split present without Schedule(pgo=...)")
+            if group.trivial:
+                _fail(f"group {gid}: trivial group carries a hot split")
+            if group.hot.depth != group.walk.hot_depth:
+                _fail(
+                    f"group {gid}: hot plan depth {group.hot.depth} != walk "
+                    f"hot depth {group.walk.hot_depth}"
+                )
+            if group.hot.width != group.walk.hot_width:
+                _fail(
+                    f"group {gid}: hot plan width {group.hot.width} != walk "
+                    f"hot width {group.walk.hot_width}"
+                )
+            if not (1 <= group.hot.tiles <= layout.thresholds.shape[1]):
+                _fail(
+                    f"group {gid}: hot prefix of {group.hot.tiles} tiles "
+                    f"outside the lane extent {layout.thresholds.shape[1]}"
+                )
+        elif group.walk.hot_depth:
+            _fail(
+                f"group {gid}: walk requests a hot split "
+                f"(depth={group.walk.hot_depth}) but no plan was lowered"
+            )
         lane_check = (
             _verify_sparse_lane if layout.kind == "sparse" else _verify_array_lane
         )

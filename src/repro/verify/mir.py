@@ -112,6 +112,17 @@ def verify_mir_module(mir: MIRModule, hir: HIRModule) -> dict:
             _fail(f"group {loop.group_id}: peeled walk with peel={walk.peel}")
         if walk.peel and walk.style == "loop":
             _fail(f"group {loop.group_id}: plain loop walk carries peel={walk.peel}")
+        if walk.hot_depth and mir.schedule.pgo is None:
+            _fail(
+                f"group {loop.group_id}: hot split (depth={walk.hot_depth}) "
+                "without Schedule(pgo=...) — default kernels must be "
+                "byte-identical to pre-PGO builds"
+            )
+        if walk.hot_depth and walk.hot_depth != group.hot_depth:
+            _fail(
+                f"group {loop.group_id}: walk hot depth {walk.hot_depth} != "
+                f"HIR annotation {group.hot_depth}"
+            )
 
     if sorted(covered) != list(range(hir.num_trees)):
         _fail(

@@ -226,6 +226,96 @@ class TestProfileCounters:
         recorder.reset()
         assert recorder.aggregate()["walk_steps"] == 0
 
+    def test_thread_churn_keeps_struct_list_bounded(self):
+        # Regression: one struct per thread that *ever* existed grew the
+        # recorder without bound under kernel-pool churn. Exited threads
+        # must fold into the retired total and drop their structs.
+        recorder = ProfileRecorder(label="churn")
+
+        def worker():
+            recorder.local().walk_steps += 1
+
+        for _ in range(50):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert recorder.aggregate()["walk_steps"] == 50
+        assert recorder.num_threads == 50
+        assert len(recorder._threads) == 0  # all churned threads retired
+
+    def test_reset_races_registration(self):
+        # Regression: reset() used to snapshot the thread list and clear
+        # outside one lock hold, so a thread registering concurrently
+        # could carry pre-reset counts into the after-measurement.
+        recorder = ProfileRecorder(label="race")
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def bump():
+            try:
+                while not stop.is_set():
+                    recorder.local().walk_steps += 1
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def resetter():
+            try:
+                for _ in range(300):
+                    recorder.reset()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        bumpers = [threading.Thread(target=bump) for _ in range(4)]
+        racer = threading.Thread(target=resetter)
+        for t in bumpers:
+            t.start()
+        racer.start()
+        racer.join()
+        stop.set()
+        for t in bumpers:
+            t.join()
+        assert not errors
+        recorder.reset()
+        assert recorder.aggregate()["walk_steps"] == 0
+
+    def test_released_predictor_vanishes_from_global_aggregate(
+        self, trained_forest, test_rows
+    ):
+        # Regression: the kernel namespace held a strong reference to the
+        # recorder (namespace ↔ function cycle), so predictors evicted
+        # from a PredictorCache kept reporting in aggregate_all() forever.
+        import gc
+
+        from repro.observe.profile import aggregate_all
+
+        predictor = compile_model(trained_forest, Schedule(profile=True))
+        predictor.raw_predict(test_rows)
+        label = predictor.profile_recorder.label
+        assert label in aggregate_all()["recorders"]
+        del predictor
+        gc.collect()
+        assert label not in aggregate_all()["recorders"]
+
+    def test_evicted_profiled_predictor_leaves_registry(
+        self, trained_forest, test_rows
+    ):
+        import gc
+
+        from repro.observe.profile import aggregate_all
+        from repro.serve.cache import PredictorCache
+
+        cache = PredictorCache(capacity=1)
+        predictor = compile_model(trained_forest, Schedule(profile=True))
+        predictor.raw_predict(test_rows)
+        label = predictor.profile_recorder.label
+        cache.put("a", predictor)
+        del predictor
+        gc.collect()
+        assert label in aggregate_all()["recorders"]  # cache keeps it live
+        cache.put("b", object())  # capacity 1: evicts the predictor
+        gc.collect()
+        assert label not in aggregate_all()["recorders"]
+
 
 # ----------------------------------------------------------------------
 # explain()
