@@ -16,6 +16,16 @@ discrete events that explain a deployment's behaviour after the fact:
 ``error``         a predict request raised
 ``slow_request``  a request exceeded the server's latency threshold
                   (``ServerConfig(slow_request_s=...)``)
+``shard_plan``    a forest was split for the multi-process sharded tier
+                  (shard boundaries, worker count, combiner)
+``worker_spawn``  a shard worker process started (initial spawn or
+                  respawn after death)
+``worker_exit``   a shard worker exited during pool shutdown
+``worker_dead``   a worker died unexpectedly — a shard worker found dead
+                  at dispatch time, or a micro-batcher thread killed by
+                  an escaped exception (its pending futures were failed)
+``admission_reject``  the SLO front end shed a request before queueing
+                  (``max_inflight`` or live p99 over target)
 
 Every event is a plain dict — ``{"seq", "ts", "kind", ...fields}`` — kept
 in a bounded deque (old events fall off; ``recorded`` keeps the lifetime

@@ -57,6 +57,7 @@ _SERVING_COUNTERS = (
     ("requests", "Predict requests observed."),
     ("rows", "Total rows predicted."),
     ("errors", "Predict requests that raised."),
+    ("admission_rejects", "Requests turned away by SLO admission control."),
     ("compiles", "Full pipeline compilations performed."),
     ("cache_hits", "Predictor-cache hits."),
     ("cache_misses", "Predictor-cache misses."),
@@ -417,6 +418,53 @@ def _serving_families(serving) -> list[MetricFamily]:
                         slot[key], {"server": name, "precision": precision}
                     )
     out.extend(f for f in precision_families.values() if f.samples)
+
+    workers_alive = MetricFamily(
+        "repro_serving_shard_worker_alive",
+        "gauge",
+        "Liveness of each shard worker process (1 = alive).",
+    )
+    workers_dispatched = MetricFamily(
+        "repro_serving_shard_worker_dispatched",
+        "counter",
+        "Requests scattered to each shard worker.",
+    )
+    workers_respawns = MetricFamily(
+        "repro_serving_shard_worker_respawns",
+        "counter",
+        "Times each shard worker was respawned after dying.",
+    )
+    for name, snap in servers.items():
+        runtime = snap.get("runtime")
+        if not isinstance(runtime, dict):
+            continue
+        sharded = runtime.get("workers")
+        if not isinstance(sharded, dict):
+            continue
+        for model, stats in sorted(sharded.items()):
+            if not isinstance(stats, dict):
+                continue
+            model_workers = stats.get("workers")
+            if not isinstance(model_workers, dict):
+                continue
+            for worker, info in sorted(model_workers.items()):
+                if not isinstance(info, dict):
+                    continue
+                labels = {"server": name, "model": model, "worker": str(worker)}
+                workers_alive.add(1.0 if info.get("alive") else 0.0, labels)
+                if _is_number(info.get("dispatched")):
+                    workers_dispatched.add(
+                        info["dispatched"], labels, suffix="_total"
+                    )
+                if _is_number(info.get("respawns")):
+                    workers_respawns.add(
+                        info["respawns"], labels, suffix="_total"
+                    )
+    out.extend(
+        f
+        for f in (workers_alive, workers_dispatched, workers_respawns)
+        if f.samples
+    )
     return out
 
 

@@ -14,6 +14,11 @@ amortization in a live system:
   compile-once, predict-many, interpreter fallback on codegen failure.
 * :class:`~repro.serve.server.ModelServer` — named multi-model registry
   sharing one cache and one metrics surface.
+* :mod:`repro.serve.workers` — the scale-out tier: tree-sharded
+  multi-process serving over shared-memory model buffers
+  (:class:`~repro.serve.workers.ShardedPredictor`), pluggable partial-sum
+  combiners, and an SLO-aware asyncio admission front end
+  (:class:`~repro.serve.workers.AsyncModelFrontend`).
 
 Quickstart::
 
@@ -23,6 +28,12 @@ Quickstart::
     server.register("ranker", forest)
     probs = server.predict("ranker", rows)
     print(server.metrics_snapshot())
+
+Multi-worker quickstart::
+
+    server.register("big", forest, workers=2, shards=4,
+                    slo=SLOPolicy(target_p99_s=0.05, max_inflight=64))
+    probs = server.predict("big", rows)   # sharded under the hood
 """
 
 from repro.serve.batching import BatchingPolicy, MicroBatcher
@@ -31,9 +42,25 @@ from repro.serve.fallback import InterpreterPredictor, ReferencePredictor
 from repro.serve.metrics import LatencyWindow, ServingMetrics
 from repro.serve.server import ModelServer, ServerConfig
 from repro.serve.session import InferenceSession
+from repro.serve.workers import (
+    AsyncModelFrontend,
+    Combiner,
+    SLOPolicy,
+    ShardPlan,
+    ShardedPredictor,
+    WorkerPool,
+    build_sharded_predictor,
+    get_combiner,
+    list_combiners,
+    plan_shards,
+    register_combiner,
+    shard_forest,
+)
 
 __all__ = [
+    "AsyncModelFrontend",
     "BatchingPolicy",
+    "Combiner",
     "DEFAULT_PREDICTOR_CACHE_CAP",
     "InferenceSession",
     "InterpreterPredictor",
@@ -42,6 +69,16 @@ __all__ = [
     "ModelServer",
     "PredictorCache",
     "ReferencePredictor",
+    "SLOPolicy",
     "ServerConfig",
     "ServingMetrics",
+    "ShardPlan",
+    "ShardedPredictor",
+    "WorkerPool",
+    "build_sharded_predictor",
+    "get_combiner",
+    "list_combiners",
+    "plan_shards",
+    "register_combiner",
+    "shard_forest",
 ]

@@ -4,14 +4,22 @@ The compiler's entire premise is that batch inference amortizes per-call
 overhead (Section II) — so the server should never run a compiled kernel on
 one row if ten requests are waiting. :class:`MicroBatcher` owns a bounded
 queue and a worker thread: the worker takes the oldest pending request,
-drains whatever else arrives within ``max_delay_s`` (up to
+drains whatever else arrives within the coalescing window (up to
 ``max_batch_rows``), stacks the rows into one contiguous batch, runs the
 kernel once, and scatters the per-request slices back through futures.
+
+The window is either fixed (``max_delay_s``) or adaptive
+(``BatchingPolicy(adaptive=True)``): sized from the live request-latency
+p50 that :class:`~repro.serve.metrics.ServingMetrics` already tracks, so a
+fast model coalesces briefly and a slow model — where the kernel dwarfs
+the wait — coalesces longer, without retuning ``max_delay_s`` per model.
 
 Requests never interleave rows: each request's rows occupy one contiguous
 slice of the batch, so per-row results are identical to a solo run (the
 kernels are row-parallel). Exceptions during a batch are delivered to every
-request in that batch.
+request in that batch; death of the worker thread itself fails every
+pending and future request with :class:`~repro.errors.ServingError` rather
+than stranding their futures.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ServingError
+from repro.observe import events as flight
 from repro.serve.metrics import ServingMetrics
 
 
@@ -42,17 +51,34 @@ class BatchingPolicy:
     max_delay_s:
         How long the worker waits for more requests after the first one —
         the latency the slowest request in a batch pays for coalescing.
+        With ``adaptive=True`` this becomes the window's upper bound.
     queue_depth:
         Bound on queued (not yet batched) requests; backpressure beyond it.
     submit_timeout_s:
         How long ``submit`` blocks on a full queue before raising
         :class:`~repro.errors.ServingError`.
+    adaptive:
+        Size the coalescing window from live latency percentiles instead
+        of the fixed ``max_delay_s``: the window is
+        ``delay_fraction × p50`` request latency, clamped to
+        ``[min_delay_s, max_delay_s]``. Until the latency window has
+        samples the batcher falls back to ``max_delay_s``.
+    min_delay_s:
+        Adaptive-window floor (ignored when ``adaptive`` is false).
+    delay_fraction:
+        Fraction of the live p50 latency to spend coalescing (ignored
+        when ``adaptive`` is false). Spending a quarter of the typical
+        request's latency on coalescing bounds the relative latency tax
+        while still letting slow models form large batches.
     """
 
     max_batch_rows: int = 1024
     max_delay_s: float = 0.002
     queue_depth: int = 1024
     submit_timeout_s: float = 1.0
+    adaptive: bool = False
+    min_delay_s: float = 0.0
+    delay_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_batch_rows < 1:
@@ -61,6 +87,14 @@ class BatchingPolicy:
             raise ServingError("max_delay_s must be >= 0")
         if self.queue_depth < 1:
             raise ServingError("queue_depth must be >= 1")
+        # ``not (x >= 0)`` also rejects NaN, which queue.put would
+        # otherwise turn into an opaque ValueError on every submit.
+        if not (self.submit_timeout_s >= 0):
+            raise ServingError("submit_timeout_s must be >= 0")
+        if not (0 <= self.min_delay_s <= self.max_delay_s):
+            raise ServingError("min_delay_s must be within [0, max_delay_s]")
+        if not (0 < self.delay_fraction <= 1):
+            raise ServingError("delay_fraction must be within (0, 1]")
 
 
 class _Request:
@@ -96,8 +130,12 @@ class MicroBatcher:
         self.run_batch = run_batch
         self.policy = policy or BatchingPolicy()
         self.metrics = metrics or ServingMetrics()
+        self.name = name
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=self.policy.queue_depth)
         self._closed = threading.Event()
+        # Written once by the worker thread on death, read by submitters;
+        # non-None means every pending/future request must fail with it.
+        self._death: ServingError | None = None
         self._worker = threading.Thread(target=self._loop, name=name, daemon=True)
         self._worker.start()
 
@@ -114,6 +152,7 @@ class MicroBatcher:
         """
         if self._closed.is_set():
             raise ServingError("micro-batcher is closed")
+        self._check_alive()
         future: Future = Future()
         rows = np.asarray(rows)
         # Empty batches go through the queue like everything else:
@@ -129,49 +168,99 @@ class MicroBatcher:
                 f"micro-batch queue full ({self.policy.queue_depth} pending); "
                 "backpressure exceeded submit_timeout_s"
             ) from None
+        # The worker may have died between the liveness check and the put,
+        # in which case nothing will ever drain this request — fail the
+        # stragglers (including ours) from here instead of stranding them.
+        if self._death is not None or not self._worker.is_alive():
+            self._fail_pending(self._death_error())
         return future
 
     def predict(self, rows: np.ndarray, trace=None) -> np.ndarray:
         """Blocking convenience: ``submit`` + wait."""
         return self.submit(rows, trace=trace).result()
 
+    def _check_alive(self) -> None:
+        if self._death is not None or not self._worker.is_alive():
+            raise self._death_error()
+
+    def _death_error(self) -> ServingError:
+        return self._death or ServingError(f"micro-batch worker {self.name!r} is dead")
+
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
+    def coalescing_window_s(self) -> float:
+        """The window the worker currently waits to coalesce one batch.
+
+        Fixed policies always return ``max_delay_s``; adaptive policies
+        return ``delay_fraction × live p50`` request latency clamped to
+        ``[min_delay_s, max_delay_s]`` (``max_delay_s`` until the metrics
+        latency window has any samples).
+        """
+        policy = self.policy
+        if not policy.adaptive:
+            return policy.max_delay_s
+        p50 = self.metrics.latency_percentiles().get("p50")
+        if p50 is None:
+            return policy.max_delay_s
+        return min(policy.max_delay_s, max(policy.min_delay_s, policy.delay_fraction * p50))
+
     def _loop(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is _STOP:
-                break
-            batch = [item]
-            num_rows = item.rows.shape[0]
-            deadline = time.monotonic() + self.policy.max_delay_s
-            stop_after = False
-            while num_rows < self.policy.max_batch_rows:
-                remaining = deadline - time.monotonic()
-                try:
-                    nxt = self._queue.get(timeout=max(0.0, remaining)) if remaining > 0 \
-                        else self._queue.get_nowait()
-                except queue.Empty:
+        # ``inflight`` is the batch currently being assembled/executed; it
+        # must be visible to the except handler because requests already
+        # dequeued are no longer reachable through ``_fail_pending``.
+        inflight: list[_Request] = []
+        try:
+            while True:
+                item = self._queue.get()
+                if item is _STOP:
                     break
-                if nxt is _STOP:
-                    stop_after = True
+                inflight = [item]
+                num_rows = item.rows.shape[0]
+                deadline = time.monotonic() + self.coalescing_window_s()
+                stop_after = False
+                while num_rows < self.policy.max_batch_rows:
+                    remaining = deadline - time.monotonic()
+                    try:
+                        nxt = self._queue.get(timeout=max(0.0, remaining)) if remaining > 0 \
+                            else self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if nxt is _STOP:
+                        stop_after = True
+                        break
+                    inflight.append(nxt)
+                    num_rows += nxt.rows.shape[0]
+                self._execute(inflight, num_rows)
+                inflight = []
+                if stop_after:
                     break
-                batch.append(nxt)
-                num_rows += nxt.rows.shape[0]
-            self._execute(batch, num_rows)
-            if stop_after:
-                break
-        self._drain_rejecting()
+        except BaseException as exc:
+            # _execute delivers per-batch failures through futures; anything
+            # that still escapes (a raising metrics hook, a corrupted queue)
+            # would previously kill this thread silently and strand every
+            # queued and future request. Record the death and fail them all.
+            self._death = ServingError(f"micro-batch worker {self.name!r} died: {exc!r}")
+            self._death.__cause__ = exc
+            flight.record("worker_dead", component="micro_batcher", name=self.name, error=repr(exc))
+            for req in inflight:
+                if req.future.set_running_or_notify_cancel():
+                    req.future.set_exception(self._death)
+            self._fail_pending(self._death)
+            return
+        self._fail_pending(ServingError("micro-batcher closed"))
 
     def _execute(self, batch: list[_Request], num_rows: int) -> None:
-        started = time.perf_counter()
-        for req in batch:
-            self.metrics.record_queue_wait(started - req.enqueued_s)
-            if req.trace is not None:
-                req.trace.stage("queue_wait", now=started)
-        self.metrics.record_batch(num_rows, len(batch))
+        # Everything up to the scatter is guarded: metrics hooks and trace
+        # stages can raise (they take locks and call user-visible code),
+        # and an escape here must fail this batch's futures, not the worker.
         try:
+            started = time.perf_counter()
+            for req in batch:
+                self.metrics.record_queue_wait(started - req.enqueued_s)
+                if req.trace is not None:
+                    req.trace.stage("queue_wait", now=started)
+            self.metrics.record_batch(num_rows, len(batch))
             if len(batch) == 1:
                 stacked = batch[0].rows
             else:
@@ -193,10 +282,13 @@ class MicroBatcher:
         for req in batch:
             n = req.rows.shape[0]
             if req.future.set_running_or_notify_cancel():
-                req.future.set_result(results[offset : offset + n])
+                try:
+                    req.future.set_result(results[offset : offset + n])
+                except BaseException as exc:  # e.g. run_batch returned a non-array
+                    req.future.set_exception(exc)
             offset += n
 
-    def _drain_rejecting(self) -> None:
+    def _fail_pending(self, exc: ServingError) -> None:
         while True:
             try:
                 item = self._queue.get_nowait()
@@ -205,7 +297,7 @@ class MicroBatcher:
             if item is _STOP:
                 continue
             if item.future.set_running_or_notify_cancel():
-                item.future.set_exception(ServingError("micro-batcher closed"))
+                item.future.set_exception(exc)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -215,8 +307,36 @@ class MicroBatcher:
         if self._closed.is_set():
             return
         self._closed.set()
-        self._queue.put(_STOP)
+        # The queue is bounded, so a blocking put would hang forever if the
+        # worker is dead or wedged inside run_batch with a full queue.
+        # Alternate non-blocking puts with draining: every Full drains one
+        # pending request (failed, not dropped), so the loop always makes
+        # progress toward inserting _STOP.
+        while True:
+            try:
+                self._queue.put_nowait(_STOP)
+                break
+            except queue.Full:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    continue  # the worker drained between our two calls; retry
+                if item is not _STOP and item.future.set_running_or_notify_cancel():
+                    item.future.set_exception(ServingError("micro-batcher closed"))
         self._worker.join(timeout=timeout)
+        if self._worker.is_alive():
+            # Worker is wedged (e.g. run_batch never returns): requests
+            # queued behind it would strand, and its own drain will never
+            # run. Queue.get hands each item to exactly one caller, so
+            # draining from here cannot double-resolve a future.
+            self._fail_pending(ServingError("micro-batcher closed"))
+            # The drain may have consumed the _STOP sentinel; replace it so
+            # a worker that eventually unwedges exits instead of blocking
+            # forever on the now-empty queue (an extra _STOP is harmless).
+            try:
+                self._queue.put_nowait(_STOP)
+            except queue.Full:
+                pass
 
     def __enter__(self) -> "MicroBatcher":
         return self

@@ -153,6 +153,7 @@ class ServingMetrics:
     ``requests``            predict calls observed
     ``rows``                total rows predicted
     ``errors``              requests that raised
+    ``admission_rejects``   requests turned away by SLO admission control
     ``batches``             micro-batches executed
     ``batch_rows_hist``     {rows per executed batch: count}
     ``batch_requests_hist`` {requests coalesced per batch: count}
@@ -196,6 +197,7 @@ class ServingMetrics:
         self.requests = 0
         self.rows = 0
         self.errors = 0
+        self.admission_rejects = 0
         self.batches = 0
         self.batch_rows_hist: Counter[int] = Counter()
         self.batch_requests_hist: Counter[int] = Counter()
@@ -258,6 +260,12 @@ class ServingMetrics:
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
+
+    def record_admission_reject(self) -> None:
+        """One request turned away by SLO admission control (not an error:
+        the tier shed load on purpose to protect its latency target)."""
+        with self._lock:
+            self.admission_rejects += 1
 
     def record_tune_started(self) -> None:
         with self._lock:
@@ -348,6 +356,7 @@ class ServingMetrics:
             self.requests = 0
             self.rows = 0
             self.errors = 0
+            self.admission_rejects = 0
             self.batches = 0
             self.batch_rows_hist.clear()
             self.batch_requests_hist.clear()
@@ -375,6 +384,7 @@ class ServingMetrics:
                 "requests": self.requests,
                 "rows": self.rows,
                 "errors": self.errors,
+                "admission_rejects": self.admission_rejects,
                 "batches": self.batches,
                 "batch_rows_hist": dict(self.batch_rows_hist),
                 "batch_requests_hist": dict(self.batch_requests_hist),

@@ -144,6 +144,12 @@ class ModelServer:
             capacity=self.config.cache_capacity, metrics=self.metrics
         )
         self._sessions: dict[str, InferenceSession] = {}
+        # Sharded (multi-process) predictors own live resources — worker
+        # processes and shared-memory segments — so the server tracks them
+        # by name and closes them on unregister/re-register/close; the
+        # predictor cache never holds them (cacheable=False).
+        self._sharded: dict[str, object] = {}
+        self._slos: dict[str, object] = {}
         self._lock = threading.Lock()
         self._closed = False
         path = self.config.tune_cache_path
@@ -162,6 +168,7 @@ class ModelServer:
             "bytes_by_precision", self._bytes_by_precision
         )
         self.metrics.register_gauge("pgo", self._pgo_gauge)
+        self.metrics.register_gauge("workers", self._workers_gauge)
         # Report into the process-wide observability registry under a
         # unique name so several servers coexist in one snapshot;
         # close() withdraws the registration.
@@ -243,6 +250,13 @@ class ModelServer:
             out[name] = info
         return out
 
+    def _workers_gauge(self) -> dict:
+        """Per-model, per-worker liveness/shard/dispatch stats for every
+        sharded registration (empty dict when none)."""
+        with self._lock:
+            sharded = dict(self._sharded)
+        return {name: predictor.worker_stats() for name, predictor in sharded.items()}
+
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
@@ -259,6 +273,10 @@ class ModelServer:
         tune_rows: np.ndarray | None = None,
         tune_space: TuningSpace | None = None,
         pgo: bool = False,
+        workers: int | None = None,
+        shards: int | None = None,
+        combiner: str = "sum",
+        slo=None,
     ) -> InferenceSession:
         """Compile (or cache-hit) ``forest`` and serve it as ``name``.
 
@@ -293,9 +311,79 @@ class ModelServer:
         hot-swaps when the split measures faster — recording a
         ``pgo_swap`` flight event. :meth:`force_pgo_recompile` runs one
         cycle synchronously.
+
+        With ``workers >= 1`` the model is served by the multi-process
+        sharded tier (:mod:`repro.serve.workers`): the forest is split
+        into ``shards`` tree ranges (default: one per worker, sized by
+        :func:`repro.autotune.shards.recommend_shard_count` when
+        ``shards`` is omitted), compiled once, exported to shared memory
+        and executed by forked workers whose partial sums are folded by
+        ``combiner`` (``"sum"``/``"mean"``/``"max_margin"``/``"top<k>"``).
+        ``slo`` (an :class:`repro.serve.workers.SLOPolicy`) records the
+        model's admission targets for an :class:`AsyncModelFrontend`.
+        Mutually exclusive with ``artifact``/``tune``/``pgo`` — the
+        sharded predictor owns processes, not a recompilable kernel.
         """
         if self._closed:
             raise ServingError("server is closed")
+        if slo is not None:
+            with self._lock:
+                self._slos[name] = slo
+        if workers is not None:
+            if forest is None:
+                raise ServingError("sharded serving (workers=...) needs a forest")
+            if artifact is not None:
+                raise ServingError(
+                    "register() takes workers=... or an artifact, not both"
+                )
+            if tune or pgo:
+                raise ServingError(
+                    "tune/pgo hot-swap a single in-process kernel; the "
+                    "sharded tier owns worker processes — register without "
+                    "workers= to tune"
+                )
+            from repro.autotune.shards import recommend_shard_count
+            from repro.serve.workers import build_sharded_predictor
+
+            if shards is None and workers >= 1:
+                shards = recommend_shard_count(forest, workers)
+            predictor = build_sharded_predictor(
+                forest,
+                schedule,
+                num_workers=workers,
+                num_shards=shards,
+                combiner=combiner,
+                validate_inputs=self.config.validate_inputs,
+                name=f"repro-shard-{name}",
+            )
+            session = InferenceSession(
+                forest,
+                predictor=predictor,
+                cache=self.cache,
+                metrics=self.metrics,
+                batching=self.config.batching if batching == "inherit" else batching,
+                threads=self.config.threads if threads == "inherit" else threads,
+                allow_fallback=self.config.allow_fallback,
+                validate_inputs=self.config.validate_inputs,
+                name=name,
+                tracer=self.tracer,
+                slow_request_s=self.config.slow_request_s,
+            )
+            with self._lock:
+                old = self._sessions.get(name)
+                self._sessions[name] = session
+                old_sharded = self._sharded.pop(name, None)
+                self._sharded[name] = predictor
+                stale_timer = self._pgo_timers.pop(name, None)
+            if stale_timer is not None:
+                stale_timer.cancel()
+            if old is not None:
+                old.close()
+            if old_sharded is not None:
+                old_sharded.close()
+            return session
+        if shards is not None:
+            raise ServingError("shards=... requires workers=...")
         if artifact is not None:
             if forest is not None:
                 raise ServingError(
@@ -328,11 +416,14 @@ class ModelServer:
             with self._lock:
                 old = self._sessions.get(name)
                 self._sessions[name] = session
+                old_sharded = self._sharded.pop(name, None)
                 stale_timer = self._pgo_timers.pop(name, None)
             if stale_timer is not None:
                 stale_timer.cancel()
             if old is not None:
                 old.close()
+            if old_sharded is not None:
+                old_sharded.close()
             return session
         if forest is None:
             raise ServingError("register() needs a forest or an artifact")
@@ -356,11 +447,14 @@ class ModelServer:
         with self._lock:
             old = self._sessions.get(name)
             self._sessions[name] = session
+            old_sharded = self._sharded.pop(name, None)
             stale_timer = self._pgo_timers.pop(name, None)
         if stale_timer is not None:
             stale_timer.cancel()
         if old is not None:
             old.close()
+        if old_sharded is not None:
+            old_sharded.close()
         if pgo:
             self._arm_pgo_timer(name, session)
         if tune:
@@ -467,20 +561,25 @@ class ModelServer:
             "tuned_per_row_us": tuned_us,
             "swapped": False,
         }
+        if tuned_us >= baseline_us * SWAP_THRESHOLD:
+            return info
+        # Currency check and swap under ONE lock hold: checking then
+        # swapping after release lets a concurrent unregister/close slip
+        # between them and receive a swap onto a session it already closed.
         with self._lock:
-            current = self._sessions.get(name) is session and not self._closed
-        if current and tuned_us < baseline_us * SWAP_THRESHOLD:
+            if self._sessions.get(name) is not session or self._closed:
+                return info
             key = predictor_cache_key(session.forest, result.best_schedule)
             self.cache.put(key, result.best_predictor)
             session.swap_predictor(result.best_predictor, result.best_schedule)
             info["swapped"] = True
-            flight.record(
-                "hot_swap",
-                model=name,
-                baseline_per_row_us=round(baseline_us, 4),
-                tuned_per_row_us=round(tuned_us, 4),
-                schedule=result.best_schedule.to_dict(),
-            )
+        flight.record(
+            "hot_swap",
+            model=name,
+            baseline_per_row_us=round(baseline_us, 4),
+            tuned_per_row_us=round(tuned_us, 4),
+            schedule=result.best_schedule.to_dict(),
+        )
         return info
 
     # ------------------------------------------------------------------
@@ -571,19 +670,21 @@ class ModelServer:
             ).per_row_us
             info["baseline_per_row_us"] = round(baseline_us, 4)
             info["tuned_per_row_us"] = round(tuned_us, 4)
-            with self._lock:
-                current = self._sessions.get(name) is session and not self._closed
             faster = tuned_us < baseline_us * SWAP_THRESHOLD
-            if not current:
-                info["reason"] = "superseded"
-                return info
             if not (faster or force):
                 info["reason"] = "slower"
                 return info
-            key = predictor_cache_key(session.forest, tuned_schedule)
-            self.cache.put(key, tuned)
-            session.swap_predictor(tuned, tuned_schedule)
-            info["swapped"] = True
+            # Currency check and swap under ONE lock hold (see _maybe_swap):
+            # otherwise a concurrent unregister/close can take the session
+            # down between the check and the swap.
+            with self._lock:
+                if self._sessions.get(name) is not session or self._closed:
+                    info["reason"] = "superseded"
+                    return info
+                key = predictor_cache_key(session.forest, tuned_schedule)
+                self.cache.put(key, tuned)
+                session.swap_predictor(tuned, tuned_schedule)
+                info["swapped"] = True
             info["prefix"] = prefix_bytes(tuned.lir)
             flight.record(
                 "pgo_swap",
@@ -627,12 +728,21 @@ class ModelServer:
     def unregister(self, name: str) -> None:
         with self._lock:
             session = self._sessions.pop(name, None)
+            sharded = self._sharded.pop(name, None)
             timer = self._pgo_timers.pop(name, None)
+            self._slos.pop(name, None)
         if timer is not None:
             timer.cancel()
         if session is None:
             raise ServingError(f"no model registered as {name!r}")
         session.close()
+        if sharded is not None:
+            sharded.close()
+
+    def slo_policy(self, name: str):
+        """The model's registered admission policy, or ``None``."""
+        with self._lock:
+            return self._slos.get(name)
 
     def session(self, name: str) -> InferenceSession:
         with self._lock:
@@ -681,6 +791,8 @@ class ModelServer:
             flight.recorder.detach_file()
         with self._lock:
             sessions, self._sessions = list(self._sessions.values()), {}
+            sharded, self._sharded = list(self._sharded.values()), {}
+            self._slos = {}
             self._closed = True
             tunes, self._tunes = list(self._tunes), []
             pgo_timers, self._pgo_timers = list(self._pgo_timers.values()), {}
@@ -694,6 +806,8 @@ class ModelServer:
         futures_wait([f for f in tunes if not f.cancelled()])
         for session in sessions:
             session.close()
+        for predictor in sharded:
+            predictor.close()
 
     def __enter__(self) -> "ModelServer":
         return self

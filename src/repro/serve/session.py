@@ -117,9 +117,16 @@ class InferenceSession:
                 getattr(predictor, "backend_name", self.schedule.backend),
                 predictor.fingerprint,
             )
-            self.predictor, self.cache_hit = self.cache.get_or_compile(
-                self.cache_key, lambda: predictor
-            )
+            if getattr(predictor, "cacheable", True):
+                self.predictor, self.cache_hit = self.cache.get_or_compile(
+                    self.cache_key, lambda: predictor
+                )
+            else:
+                # Executors that own live resources (worker pools, shared
+                # memory) must not be coalesced across registrations or
+                # evicted/revived by the LRU — their lifecycle belongs to
+                # exactly one owner.
+                self.predictor, self.cache_hit = predictor, False
         else:
             self.schedule = schedule or Schedule()
             self.objective = forest.objective

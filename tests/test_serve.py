@@ -607,3 +607,301 @@ class TestMetricsPrimitives:
         assert not errors
         snap = metrics.snapshot()
         assert snap["requests"] == snap["rows"] == snap["batches"]
+
+
+# ----------------------------------------------------------------------
+# Worker-death regressions (the stranded-future failure modes)
+# ----------------------------------------------------------------------
+class TestWorkerDeath:
+    def test_raising_metrics_hook_fails_batch_not_worker(self):
+        """Regression: a metrics hook raising inside the batch loop used to
+        escape ``_execute``'s try block and kill the worker thread silently,
+        stranding every queued future. Now the batch fails and the worker
+        survives."""
+
+        class RaisingMetrics(ServingMetrics):
+            def record_queue_wait(self, seconds):
+                raise RuntimeError("metrics sink exploded")
+
+        b = MicroBatcher(
+            lambda rows: rows.sum(axis=1),
+            BatchingPolicy(max_delay_s=0.0),
+            metrics=RaisingMetrics(),
+        )
+        try:
+            for _ in range(2):  # repeatable: the worker outlives each failure
+                with pytest.raises(RuntimeError, match="exploded"):
+                    b.submit(np.ones((1, 2))).result(timeout=5.0)
+                assert b._worker.is_alive()
+        finally:
+            b.close()
+
+    def test_worker_death_fails_inflight_queued_and_future_submits(self):
+        """If the worker thread itself dies, the in-flight batch, every
+        queued request, and every later ``submit`` must fail with
+        ``ServingError`` instead of hanging."""
+        from repro.observe import events as flight_events
+
+        entered = threading.Event()
+        release = threading.Event()
+        b = MicroBatcher(
+            lambda rows: rows.sum(axis=1),
+            BatchingPolicy(max_delay_s=0.0, queue_depth=8, submit_timeout_s=0.2),
+            name="death-test",
+        )
+
+        def dying(batch, num_rows):
+            entered.set()
+            assert release.wait(5.0)
+            raise RuntimeError("escaped the guard")
+
+        b._execute = dying
+        first = b.submit(np.ones((1, 2)))
+        assert entered.wait(5.0)
+        queued = [b.submit(np.ones((1, 2))) for _ in range(3)]
+        release.set()
+        for f in [first, *queued]:
+            with pytest.raises(ServingError, match="died"):
+                f.result(timeout=5.0)
+        b._worker.join(5.0)
+        assert not b._worker.is_alive()
+        with pytest.raises(ServingError, match="died"):
+            b.submit(np.ones((1, 2)))
+        deaths = flight_events.recorder.tail(n=50, kind="worker_dead")
+        assert any(e.get("name") == "death-test" for e in deaths)
+        b.close()  # still a clean no-op after death
+
+    def test_dead_worker_fails_within_submit_timeout(self):
+        """Acceptance: a dead worker fails pending requests within
+        ``submit_timeout_s`` rather than waiting for a future that will
+        never resolve."""
+        b = MicroBatcher(
+            lambda rows: rows.sum(axis=1),
+            BatchingPolicy(max_delay_s=0.0, submit_timeout_s=0.5),
+            name="timeout-test",
+        )
+        b._execute = lambda batch, num_rows: (_ for _ in ()).throw(
+            RuntimeError("instant death")
+        )
+        start = time.perf_counter()
+        future = b.submit(np.ones((1, 2)))
+        with pytest.raises(ServingError):
+            future.result(timeout=5.0)
+        assert time.perf_counter() - start < b.policy.submit_timeout_s + 1.0
+        b.close()
+
+
+class TestCloseBackpressure:
+    def test_close_returns_promptly_with_wedged_worker_and_full_queue(self):
+        """Regression: ``close()`` used a blocking put of the stop sentinel
+        onto the bounded queue — with the worker wedged inside ``run_batch``
+        and the queue full, shutdown hung forever."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        def wedged(rows):
+            entered.set()
+            release.wait(30.0)
+            return rows.sum(axis=1)
+
+        b = MicroBatcher(
+            wedged,
+            BatchingPolicy(queue_depth=2, max_delay_s=0.0, submit_timeout_s=0.05),
+        )
+        try:
+            first = b.submit(np.ones((1, 2)))
+            assert entered.wait(5.0)
+            queued = [b.submit(np.ones((1, 2))) for _ in range(2)]  # fills the queue
+            closer = threading.Thread(target=b.close, kwargs={"timeout": 0.5})
+            start = time.perf_counter()
+            closer.start()
+            closer.join(5.0)
+            assert not closer.is_alive()  # pre-fix: blocked forever on queue.put
+            assert time.perf_counter() - start < 4.0
+            for f in queued:
+                with pytest.raises(ServingError, match="closed"):
+                    f.result(timeout=5.0)
+        finally:
+            release.set()
+        # The wedged batch still completes (its result was already owed),
+        # and the unwedged worker finds a stop sentinel instead of blocking.
+        assert np.allclose(first.result(timeout=5.0), 2.0)
+        b._worker.join(5.0)
+        assert not b._worker.is_alive()
+
+
+class TestPolicyValidation:
+    def test_negative_submit_timeout_rejected(self):
+        with pytest.raises(ServingError, match="submit_timeout_s"):
+            BatchingPolicy(submit_timeout_s=-0.5)
+
+    def test_nan_submit_timeout_rejected(self):
+        # NaN would otherwise surface as an opaque ValueError from
+        # queue.put on every submit.
+        with pytest.raises(ServingError, match="submit_timeout_s"):
+            BatchingPolicy(submit_timeout_s=float("nan"))
+
+    def test_zero_submit_timeout_allowed(self):
+        policy = BatchingPolicy(submit_timeout_s=0.0)
+        assert policy.submit_timeout_s == 0.0
+
+    def test_adaptive_knob_validation(self):
+        with pytest.raises(ServingError, match="min_delay_s"):
+            BatchingPolicy(adaptive=True, max_delay_s=0.001, min_delay_s=0.01)
+        with pytest.raises(ServingError, match="delay_fraction"):
+            BatchingPolicy(adaptive=True, delay_fraction=0.0)
+        with pytest.raises(ServingError, match="delay_fraction"):
+            BatchingPolicy(adaptive=True, delay_fraction=1.5)
+
+
+class TestAdaptiveBatching:
+    def test_cold_window_falls_back_to_max(self):
+        metrics = ServingMetrics()
+        b = MicroBatcher(
+            lambda rows: rows.sum(axis=1),
+            BatchingPolicy(adaptive=True, max_delay_s=0.01, min_delay_s=0.001),
+            metrics=metrics,
+        )
+        try:
+            assert b.coalescing_window_s() == 0.01
+        finally:
+            b.close()
+
+    def test_window_tracks_p50_and_clamps(self):
+        metrics = ServingMetrics()
+        policy = BatchingPolicy(
+            adaptive=True, max_delay_s=0.01, min_delay_s=0.001, delay_fraction=0.5
+        )
+        b = MicroBatcher(lambda rows: rows.sum(axis=1), policy, metrics=metrics)
+        try:
+            for _ in range(10):
+                metrics.record_request(1, 0.004)
+            assert b.coalescing_window_s() == pytest.approx(0.002)  # 0.5 x p50
+            metrics.reset()
+            for _ in range(10):
+                metrics.record_request(1, 1.0)  # slow model: clamp to max
+            assert b.coalescing_window_s() == 0.01
+            metrics.reset()
+            for _ in range(10):
+                metrics.record_request(1, 1e-6)  # fast model: clamp to min
+            assert b.coalescing_window_s() == 0.001
+        finally:
+            b.close()
+
+    def test_fixed_policy_ignores_latency(self):
+        metrics = ServingMetrics()
+        b = MicroBatcher(
+            lambda rows: rows.sum(axis=1),
+            BatchingPolicy(max_delay_s=0.005),
+            metrics=metrics,
+        )
+        try:
+            for _ in range(10):
+                metrics.record_request(1, 2.0)
+            assert b.coalescing_window_s() == 0.005
+        finally:
+            b.close()
+
+    def test_adaptive_batcher_serves_correctly(self, small_rows):
+        with MicroBatcher(
+            lambda rows: rows.sum(axis=1),
+            BatchingPolicy(adaptive=True, max_delay_s=0.002),
+        ) as b:
+            got = b.predict(small_rows)
+            assert np.allclose(got, small_rows.sum(axis=1))
+
+
+# ----------------------------------------------------------------------
+# Swap/unregister atomicity
+# ----------------------------------------------------------------------
+class TestSwapUnregisterRace:
+    def test_swap_and_unregister_are_atomic(self, small_forest, monkeypatch):
+        """Regression: ``_maybe_swap`` checked session currency under the
+        lock but swapped after releasing it, so a concurrent ``unregister``
+        could close the session between check and swap. The swap must now
+        complete before the unregister's close runs (or not happen at all)."""
+        from types import SimpleNamespace
+
+        import repro.serve.server as server_mod
+
+        latencies = iter([100.0, 1.0])  # baseline slow, tuned fast -> swap
+        monkeypatch.setattr(
+            server_mod,
+            "measure",
+            lambda *a, **k: SimpleNamespace(per_row_us=next(latencies)),
+        )
+        server = ModelServer()
+        session = server.register("m", small_forest)
+        events: list[str] = []
+        in_swap = threading.Event()
+        orig_swap = session.swap_predictor
+
+        def slow_swap(predictor, schedule=None):
+            events.append("swap_start")
+            in_swap.set()
+            time.sleep(0.1)  # widen the race window
+            out = orig_swap(predictor, schedule)
+            events.append("swap_end")
+            return out
+
+        session.swap_predictor = slow_swap
+        orig_close = session.close
+
+        def recording_close():
+            events.append("close")
+            return orig_close()
+
+        session.close = recording_close
+        result = SimpleNamespace(
+            best_predictor=session.predictor,
+            best_schedule=session.schedule,
+            explored=1,
+            grid_size=1,
+            from_cache=False,
+            rank_correlation=None,
+            stopped_by=None,
+        )
+        rows = np.random.default_rng(7).normal(size=(8, small_forest.num_features))
+        swapper = threading.Thread(
+            target=server._maybe_swap, args=("m", session, rows, result)
+        )
+        swapper.start()
+        assert in_swap.wait(5.0)
+        server.unregister("m")  # pre-fix: interleaves with the in-flight swap
+        swapper.join(5.0)
+        assert not swapper.is_alive()
+        assert events.index("swap_end") < events.index("close")
+        server.close()
+
+    def test_swap_skipped_after_unregister(self, small_forest, monkeypatch):
+        """Once the session is no longer current, the (locked) currency
+        check must refuse the swap entirely."""
+        from types import SimpleNamespace
+
+        import repro.serve.server as server_mod
+
+        latencies = iter([100.0, 1.0])
+        monkeypatch.setattr(
+            server_mod,
+            "measure",
+            lambda *a, **k: SimpleNamespace(per_row_us=next(latencies)),
+        )
+        server = ModelServer()
+        session = server.register("m", small_forest)
+        swapped = []
+        session.swap_predictor = lambda *a, **k: swapped.append(True)
+        result = SimpleNamespace(
+            best_predictor=session.predictor,
+            best_schedule=session.schedule,
+            explored=1,
+            grid_size=1,
+            from_cache=False,
+            rank_correlation=None,
+            stopped_by=None,
+        )
+        rows = np.random.default_rng(8).normal(size=(8, small_forest.num_features))
+        server.unregister("m")
+        info = server._maybe_swap("m", session, rows, result)
+        assert info["swapped"] is False
+        assert not swapped
+        server.close()
